@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Sec. VII-G reproduction: the ProSparsity cost trade-off. TCAM
+ * detection costs m^2 * k bitwise ops per tile; ProSparsity saves
+ * DeltaS * m * k * n additions, and an addition costs 45x a TCAM
+ * bitwise op. The benefit-cost ratio exceeds 1 when DeltaS > m / (45n)
+ * = 4.4% at the default tile, and reaches ~3x at the measured average
+ * sparsity increase.
+ */
+
+#include <iostream>
+
+#include "analysis/density.h"
+#include "arch/prosperity_config.h"
+#include "sim/table.h"
+
+using namespace prosperity;
+
+namespace {
+
+/** Benefit-cost ratio of Sec. VII-G. */
+double
+benefitCost(double delta_s, const TileConfig& tile)
+{
+    const double m = static_cast<double>(tile.m);
+    const double k = static_cast<double>(tile.k);
+    const double n = static_cast<double>(tile.n);
+    return delta_s * m * k * n * 45.0 / (m * m * k);
+}
+
+} // namespace
+
+int
+main()
+{
+    const TileConfig tile; // 256 x 128 x 16
+
+    // Break-even sparsity increase: DeltaS * 45 * n / m = 1.
+    const double threshold =
+        static_cast<double>(tile.m) / (45.0 * static_cast<double>(tile.n));
+    std::cout << "Break-even sparsity increase DeltaS = "
+              << Table::pct(threshold, 1) << " (paper: 4.4%)\n\n";
+
+    // Measured average sparsity increase across the suite.
+    DensityOptions opt;
+    opt.max_sampled_tiles = 32;
+    double delta_sum = 0.0;
+    const auto suite = fig8Suite();
+    for (const Workload& w : suite) {
+        const DensityReport r = analyzeWorkload(w, opt, 7);
+        delta_sum += r.bitDensity() - r.productDensity();
+    }
+    const double delta_s = delta_sum / static_cast<double>(suite.size());
+
+    Table table("Sec. VII-G — benefit-cost ratio of ProSparsity "
+                "processing");
+    table.setHeader({"DeltaS", "benefit-cost ratio", "worth it?"});
+    for (double d : {0.01, 0.044, 0.08, delta_s, 0.20}) {
+        const double ratio = benefitCost(d, tile);
+        table.addRow({Table::pct(d, 1), Table::ratio(ratio),
+                      ratio > 1.0 ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    std::cout << "Measured average DeltaS = " << Table::pct(delta_s, 1)
+              << " (paper: 13.35%) => benefit-cost ratio "
+              << Table::ratio(benefitCost(delta_s, tile), 1)
+              << " (paper: 3.0x)\n";
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fig. 8 reproduction: end-to-end speedup and energy efficiency of
+ * Prosperity vs Eyeriss, PTB, SATO, MINT, Stellar (spiking CNNs only)
+ * and the A100 across the 16 model/dataset pairs, normalized to
+ * Eyeriss, with geometric means.
+ *
+ * Paper headline numbers: Prosperity averages 7.4x speedup / 8.0x
+ * energy over PTB, 4.8x / 4.2x over SATO, 3.6x / 3.1x over MINT,
+ * 2.1x / 2.2x over Stellar (CNNs), 1.79x / 193x over the A100, and
+ * 14.2x / 21.4x over Eyeriss.
+ */
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "analysis/runner.h"
+#include "baselines/a100.h"
+#include "baselines/eyeriss.h"
+#include "baselines/mint.h"
+#include "baselines/ptb.h"
+#include "baselines/sato.h"
+#include "baselines/stellar.h"
+#include "core/prosperity_accelerator.h"
+#include "sim/table.h"
+
+using namespace prosperity;
+
+namespace {
+
+bool
+isCnn(const Workload& w)
+{
+    return w.model_id == ModelId::kVgg16 ||
+           w.model_id == ModelId::kVgg9 ||
+           w.model_id == ModelId::kResNet18 ||
+           w.model_id == ModelId::kLeNet5;
+}
+
+} // namespace
+
+int
+main()
+{
+    EyerissAccelerator eyeriss;
+    PtbAccelerator ptb;
+    SatoAccelerator sato;
+    MintAccelerator mint;
+    StellarAccelerator stellar;
+    A100Accelerator a100;
+    ProsperityAccelerator prosperity;
+    const std::vector<Accelerator*> accels = {
+        &eyeriss, &ptb, &sato, &mint, &stellar, &a100, &prosperity};
+
+    Table speedup_table(
+        "Fig. 8 (top) — speedup normalized to Eyeriss");
+    Table energy_table(
+        "Fig. 8 (bottom) — energy efficiency normalized to Eyeriss");
+    std::vector<std::string> header = {"workload"};
+    for (const auto* a : accels)
+        header.push_back(a->name());
+    speedup_table.setHeader(header);
+    energy_table.setHeader(header);
+
+    // Per-accelerator ratios of Prosperity vs that accelerator.
+    std::map<std::string, std::vector<double>> speedup_vs;
+    std::map<std::string, std::vector<double>> energy_vs;
+    std::vector<double> prosperity_speedup, prosperity_energy;
+
+    RunOptions options;
+    for (const Workload& w : fig8Suite()) {
+        const auto results = runWorkloadOnAll(accels, w, options);
+        const double base_s = results[0].seconds();
+        const double base_e = results[0].energy.totalPj();
+        const RunResult& pros = results.back();
+
+        std::vector<std::string> srow = {w.name()};
+        std::vector<std::string> erow = {w.name()};
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const RunResult& r = results[i];
+            const bool stellar_na =
+                accels[i] == &stellar && !isCnn(w);
+            if (stellar_na) {
+                srow.push_back("n/a");
+                erow.push_back("n/a");
+                continue;
+            }
+            const double s = base_s / r.seconds();
+            const double e = base_e / r.energy.totalPj();
+            srow.push_back(Table::ratio(s));
+            erow.push_back(Table::ratio(e));
+            if (accels[i] != &prosperity && accels[i] != &eyeriss) {
+                speedup_vs[r.accelerator].push_back(r.seconds() /
+                                                    pros.seconds());
+                energy_vs[r.accelerator].push_back(
+                    r.energy.totalPj() / pros.energy.totalPj());
+            }
+        }
+        speedup_vs["Eyeriss"].push_back(base_s / pros.seconds());
+        energy_vs["Eyeriss"].push_back(base_e / pros.energy.totalPj());
+        prosperity_speedup.push_back(base_s / pros.seconds());
+        prosperity_energy.push_back(base_e / pros.energy.totalPj());
+        speedup_table.addRow(srow);
+        energy_table.addRow(erow);
+    }
+
+    speedup_table.addRow(
+        {"GeoMean(Prosperity)", "", "", "", "", "", "",
+         Table::ratio(geometricMean(prosperity_speedup))});
+    energy_table.addRow(
+        {"GeoMean(Prosperity)", "", "", "", "", "", "",
+         Table::ratio(geometricMean(prosperity_energy))});
+    speedup_table.print(std::cout);
+    std::cout << '\n';
+    energy_table.print(std::cout);
+
+    Table summary("Prosperity average advantage (geometric mean)");
+    summary.setHeader({"vs", "speedup", "(paper)", "energy eff.",
+                       "(paper)"});
+    const char* paper_speed[] = {"14.2x", "7.4x", "4.8x", "3.6x",
+                                 "2.1x (CNNs)", "1.79x"};
+    const char* paper_energy[] = {"21.4x", "8.0x", "4.2x", "3.1x",
+                                  "2.2x (CNNs)", "193x"};
+    const char* names[] = {"Eyeriss", "PTB", "SATO", "MINT", "Stellar",
+                           "A100"};
+    for (int i = 0; i < 6; ++i) {
+        summary.addRow({names[i],
+                        Table::ratio(geometricMean(speedup_vs[names[i]])),
+                        paper_speed[i],
+                        Table::ratio(geometricMean(energy_vs[names[i]])),
+                        paper_energy[i]});
+    }
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig. 9 reproduction: ablation of Prosperity's design steps, averaged
+ * over all evaluated models and normalized to the dense Eyeriss
+ * baseline:
+ *
+ *   Eyeriss (dense)                 1.00x
+ *   PTB (structured bit sparsity)   2.62x
+ *   + unstructured bit sparsity     5.97x  (2.28x step)
+ *   + ProSparsity, high-overhead   12.87x  (2.16x step)
+ *   + overhead-free dispatch       19.12x  (1.49x step)
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/runner.h"
+#include "baselines/eyeriss.h"
+#include "baselines/ptb.h"
+#include "core/prosperity_accelerator.h"
+#include "sim/table.h"
+
+using namespace prosperity;
+
+int
+main()
+{
+    EyerissAccelerator eyeriss;
+    PtbAccelerator ptb;
+
+    Ppu::Options bit_only;
+    bit_only.sparsity = SparsityMode::kBitSparsity;
+    Ppu::Options traversal;
+    traversal.dispatch = DispatchMode::kTreeTraversal;
+    Ppu::Options overhead_free;
+
+    ProsperityAccelerator pros_bit(ProsperityConfig{}, bit_only);
+    ProsperityAccelerator pros_slow(ProsperityConfig{}, traversal);
+    ProsperityAccelerator pros_fast(ProsperityConfig{}, overhead_free);
+
+    const std::vector<Accelerator*> accels = {
+        &eyeriss, &ptb, &pros_bit, &pros_slow, &pros_fast};
+
+    std::vector<std::vector<double>> speedups(accels.size());
+    for (const Workload& w : fig8Suite()) {
+        const auto results = runWorkloadOnAll(accels, w);
+        const double base = results[0].seconds();
+        for (std::size_t i = 0; i < results.size(); ++i)
+            speedups[i].push_back(base / results[i].seconds());
+    }
+
+    std::vector<double> geo(accels.size());
+    for (std::size_t i = 0; i < accels.size(); ++i)
+        geo[i] = geometricMean(speedups[i]);
+
+    const char* labels[] = {
+        "Eyeriss (dense)",
+        "PTB (structured BitSparsity)",
+        "Prosperity, unstructured BitSparsity",
+        "+ ProSparsity (high-overhead dispatch)",
+        "+ overhead-free dispatch (full Prosperity)",
+    };
+    const char* paper[] = {"1.00x", "2.62x", "5.97x", "12.87x",
+                           "19.12x"};
+
+    Table table("Fig. 9 — ablation study (geomean over all workloads, "
+                "normalized to dense)");
+    table.setHeader({"configuration", "speedup", "(paper)",
+                     "step vs previous", "(paper step)"});
+    const char* paper_step[] = {"-", "2.62x", "2.28x", "2.16x", "1.49x"};
+    for (std::size_t i = 0; i < accels.size(); ++i) {
+        const double step = i == 0 ? 1.0 : geo[i] / geo[i - 1];
+        table.addRow({labels[i], Table::ratio(geo[i]), paper[i],
+                      i == 0 ? "-" : Table::ratio(step),
+                      paper_step[i]});
+    }
+    table.print(std::cout);
+
+    std::cout << "ProSparsity total gain over bit sparsity: "
+              << Table::ratio(geo[4] / geo[2], 1)
+              << " (paper: 3.2x average)\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sec. VIII reproduction: architecture scalability. The paper discusses
+ * (as future extensions) intra-PPU parallelism — issuing multiple
+ * independent ProSparsity-forest nodes per cycle — and inter-PPU
+ * parallelism — distributing tiles across several PPUs. This bench
+ * quantifies both on representative workloads, including where the
+ * shared DRAM channel caps the scaling.
+ */
+
+#include <iostream>
+
+#include "analysis/runner.h"
+#include "arch/area_model.h"
+#include "core/prosperity_accelerator.h"
+#include "sim/table.h"
+
+using namespace prosperity;
+
+namespace {
+
+double
+workloadSeconds(const ProsperityConfig& config, std::size_t issue_width,
+                const Workload& w)
+{
+    Ppu::Options options;
+    options.issue_width = issue_width;
+    options.max_sampled_tiles = 48;
+    ProsperityAccelerator accel(config, options);
+    return runWorkload(accel, w).seconds();
+}
+
+} // namespace
+
+int
+main()
+{
+    const Workload workloads[] = {
+        makeWorkload(ModelId::kVgg16, DatasetId::kCifar100),
+        makeWorkload(ModelId::kSpikeBert, DatasetId::kSst2),
+    };
+
+    {
+        Table table("Sec. VIII-A — intra-PPU parallelism (issue width)");
+        table.setHeader({"workload", "w=1", "w=2 speedup", "w=4 speedup",
+                         "w=8 speedup"});
+        for (const Workload& w : workloads) {
+            const double base =
+                workloadSeconds(ProsperityConfig{}, 1, w);
+            std::vector<std::string> row = {w.name(), "1.00x"};
+            for (std::size_t width : {2u, 4u, 8u}) {
+                const double s =
+                    workloadSeconds(ProsperityConfig{}, width, w);
+                row.push_back(Table::ratio(base / s));
+            }
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::cout << "EM-copy-bound rows compress with issue width; the "
+                     "accumulation work itself does not, so gains "
+                     "saturate.\n\n";
+    }
+
+    {
+        Table table("Sec. VIII-B — inter-PPU parallelism (PPU count)");
+        table.setHeader({"workload", "1 PPU", "2 PPUs", "4 PPUs",
+                         "8 PPUs", "area 8 PPUs (mm^2)"});
+        for (const Workload& w : workloads) {
+            const double base =
+                workloadSeconds(ProsperityConfig{}, 1, w);
+            std::vector<std::string> row = {w.name(), "1.00x"};
+            ProsperityConfig config;
+            for (std::size_t ppus : {2u, 4u, 8u}) {
+                config.num_ppus = ppus;
+                const double s = workloadSeconds(config, 1, w);
+                row.push_back(Table::ratio(base / s));
+            }
+            row.push_back(
+                Table::num(AreaModel(config).area().total(), 3));
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::cout << "Scaling is near-linear while layers stay "
+                     "compute-bound and flattens at the shared 64 GB/s "
+                     "DRAM channel.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table I reproduction: VGG-16 comparison of Dense, PTB (structured
+ * bit sparsity), Stellar (FS-neuron bit sparsity) and Prosperity
+ * (unstructured ProSparsity): densities and speedup over dense.
+ */
+
+#include <iostream>
+
+#include "analysis/density.h"
+#include "analysis/runner.h"
+#include "baselines/eyeriss.h"
+#include "baselines/ptb.h"
+#include "baselines/stellar.h"
+#include "core/prosperity_accelerator.h"
+#include "sim/table.h"
+
+using namespace prosperity;
+
+int
+main()
+{
+    const Workload w = makeWorkload(ModelId::kVgg16, DatasetId::kCifar100);
+
+    // Densities.
+    DensityOptions opt;
+    opt.max_sampled_tiles = 64;
+    const DensityReport density = analyzeWorkload(w, opt, 7);
+    const double bit_density = density.bitDensity();
+    const double fs_density = StellarAccelerator::fsDensity(bit_density);
+    const double pro_density = density.productDensity();
+
+    // Speedups over the dense baseline.
+    EyerissAccelerator eyeriss;
+    PtbAccelerator ptb;
+    StellarAccelerator stellar;
+    ProsperityAccelerator prosperity;
+    const std::vector<Accelerator*> accels = {&eyeriss, &ptb, &stellar,
+                                              &prosperity};
+    const auto results = runWorkloadOnAll(accels, w);
+    const double dense_s = results[0].seconds();
+
+    Table table("Table I — comparison with previous work on VGG-16 "
+                "(CIFAR100)");
+    table.setHeader({"study", "sparsity", "pattern", "bit density",
+                     "pro density", "speedup", "(paper speedup)"});
+    table.addRow({"Dense", "None", "-", "100.00%", "100.00%", "1.00x",
+                  "1.00x"});
+    table.addRow({"PTB", "Structured", "BitSparsity",
+                  Table::pct(bit_density), "-",
+                  Table::ratio(dense_s / results[1].seconds()), "1.86x"});
+    table.addRow({"Stellar", "Structured", "BitSparsity(FS)",
+                  Table::pct(fs_density), "-",
+                  Table::ratio(dense_s / results[2].seconds()), "5.97x"});
+    table.addRow({"Prosperity", "Unstructured", "ProSparsity",
+                  Table::pct(bit_density), Table::pct(pro_density),
+                  Table::ratio(dense_s / results[3].seconds()), "17.55x"});
+    table.print(std::cout);
+
+    std::cout << "ProSparsity computation reduction vs bit sparsity: "
+              << Table::ratio(density.reductionVsBit(), 1)
+              << " (paper: >18x savings, 9.4x speedup over PTB)\n";
+    return 0;
+}

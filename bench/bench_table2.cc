@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table II reproduction: one-prefix vs two-prefix ProSparsity density
+ * and prefix ratios on SpikingBERT/SST-2 and VGG-16/CIFAR100. The
+ * paper's conclusion — the first prefix captures most of the benefit
+ * and under 6% of rows can even use a second prefix — motivates the
+ * single-prefix hardware.
+ */
+
+#include <iostream>
+
+#include "analysis/density.h"
+#include "sim/table.h"
+
+using namespace prosperity;
+
+int
+main()
+{
+    const Workload workloads[] = {
+        makeWorkload(ModelId::kSpikingBert, DatasetId::kSst2),
+        makeWorkload(ModelId::kVgg16, DatasetId::kCifar100),
+    };
+    // Paper reference rows (Table II).
+    const char* paper_bit[] = {"20.49%", "34.21%"};
+    const char* paper_one[] = {"2.98%", "2.79%"};
+    const char* paper_two[] = {"2.30%", "1.97%"};
+    const char* paper_ratio1[] = {"56%", "26%"};
+    const char* paper_ratio2[] = {"3%", "6%"};
+
+    Table table("Table II — one-prefix vs two-prefix ProSparsity");
+    table.setHeader({"metric", "SpikingBERT SST-2", "(paper)",
+                     "VGG-16 CIFAR100", "(paper)"});
+
+    DensityOptions opt;
+    opt.two_prefix = true;
+    opt.max_sampled_tiles = 64;
+
+    DensityReport reports[2];
+    for (int i = 0; i < 2; ++i)
+        reports[i] = analyzeWorkload(workloads[i], opt, 7);
+
+    table.addRow({"Bit Sparsity Density",
+                  Table::pct(reports[0].bitDensity()), paper_bit[0],
+                  Table::pct(reports[1].bitDensity()), paper_bit[1]});
+    table.addRow({"One-Prefix Pro Density",
+                  Table::pct(reports[0].productDensity()), paper_one[0],
+                  Table::pct(reports[1].productDensity()), paper_one[1]});
+    table.addRow({"Two-Prefix Pro Density",
+                  Table::pct(reports[0].productDensityTwoPrefix()),
+                  paper_two[0],
+                  Table::pct(reports[1].productDensityTwoPrefix()),
+                  paper_two[1]});
+    table.addRow({"One-Prefix Row Ratio",
+                  Table::pct(reports[0].onePrefixRatio(), 0),
+                  paper_ratio1[0],
+                  Table::pct(reports[1].onePrefixRatio(), 0),
+                  paper_ratio1[1]});
+    table.addRow({"Two-Prefix Row Ratio",
+                  Table::pct(reports[0].twoPrefixRatio(), 0),
+                  paper_ratio2[0],
+                  Table::pct(reports[1].twoPrefixRatio(), 0),
+                  paper_ratio2[1]});
+    table.print(std::cout);
+
+    std::cout << "Conclusion check: two-prefix adds "
+              << Table::pct(reports[0].productDensity() -
+                            reports[0].productDensityTwoPrefix())
+              << " / "
+              << Table::pct(reports[1].productDensity() -
+                            reports[1].productDensityTwoPrefix())
+              << " absolute density — the single-prefix design retains "
+                 "most of the benefit.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table IV reproduction: accelerator comparison on VGG-16/CIFAR100 —
+ * PEs, area, throughput (GOP/s), energy efficiency (GOP/J) and area
+ * efficiency (GOP/s/mm^2), with ratios normalized to Eyeriss.
+ */
+
+#include <iostream>
+
+#include "analysis/runner.h"
+#include "baselines/eyeriss.h"
+#include "baselines/mint.h"
+#include "baselines/ptb.h"
+#include "baselines/sato.h"
+#include "baselines/stellar.h"
+#include "core/prosperity_accelerator.h"
+#include "sim/table.h"
+
+using namespace prosperity;
+
+int
+main()
+{
+    const Workload w = makeWorkload(ModelId::kVgg16, DatasetId::kCifar100);
+
+    EyerissAccelerator eyeriss;
+    SatoAccelerator sato;
+    PtbAccelerator ptb;
+    MintAccelerator mint;
+    StellarAccelerator stellar;
+    ProsperityAccelerator prosperity;
+    const std::vector<Accelerator*> accels = {&eyeriss, &sato, &ptb,
+                                              &mint, &stellar,
+                                              &prosperity};
+    const auto results = runWorkloadOnAll(accels, w);
+
+    // Paper reference values (Table IV): GOP/s, GOP/J.
+    const char* paper_gops[] = {"29.40", "33.63", "41.37",
+                                "62.07", "190.44", "390.10"};
+    const char* paper_gopj[] = {"16.67", "49.70", "34.15",
+                                "75.61", "142.98", "299.80"};
+
+    const double base_gops = results[0].gops();
+    const double base_gopj = results[0].gopj();
+
+    Table table("Table IV — accelerator comparison on VGG-16/CIFAR100 "
+                "(500 MHz, 28 nm)");
+    table.setHeader({"design", "PEs", "area mm^2", "GOP/s", "(paper)",
+                     "vs Eyeriss", "GOP/J", "(paper)", "vs Eyeriss",
+                     "GOP/s/mm^2"});
+    for (std::size_t i = 0; i < accels.size(); ++i) {
+        const RunResult& r = results[i];
+        table.addRow({r.accelerator,
+                      std::to_string(accels[i]->numPes()),
+                      Table::num(accels[i]->areaMm2(), 3),
+                      Table::num(r.gops()), paper_gops[i],
+                      Table::ratio(r.gops() / base_gops),
+                      Table::num(r.gopj()), paper_gopj[i],
+                      Table::ratio(r.gopj() / base_gopj),
+                      Table::num(r.gops() / accels[i]->areaMm2(), 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "Paper ratios: SATO 1.14x, PTB 1.41x, MINT 2.11x, "
+                 "Stellar 6.48x, Prosperity 13.27x (throughput); "
+                 "Prosperity area efficiency 26.78x Eyeriss.\n";
+    return 0;
+}

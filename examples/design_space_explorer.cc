@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Design-space exploration with the public API: evaluate a custom
+ * Prosperity configuration (tile m/k, PE count) on a chosen workload
+ * and print latency, density, area and peak power — the workflow an
+ * architect would use before committing to silicon parameters.
+ *
+ * Usage: design_space_explorer [m] [k]
+ *   m, k: tile sizes to highlight (defaults 256 and 16).
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/density.h"
+#include "arch/area_model.h"
+#include "core/prosperity_accelerator.h"
+#include "analysis/runner.h"
+#include "sim/table.h"
+
+using namespace prosperity;
+
+int
+main(int argc, char** argv)
+{
+    const std::size_t user_m =
+        argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 256;
+    const std::size_t user_k =
+        argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 16;
+    if (user_m == 0 || user_k == 0) {
+        std::cerr << "usage: design_space_explorer [m >= 1] [k >= 1]\n";
+        return 1;
+    }
+
+    const Workload w = makeWorkload(ModelId::kSpikformer,
+                                    DatasetId::kCifar10);
+    std::cout << "Exploring tile sizes on " << w.name() << "\n\n";
+
+    Table table("Design points (latency on " + w.name() + ")");
+    table.setHeader({"m x k", "latency (ms)", "product density",
+                     "area (mm^2)", "peak power (W)"});
+
+    const TileConfig candidates[] = {
+        {64, 128, 16},
+        {128, 128, 16},
+        {256, 128, 16},
+        {256, 128, 32},
+        {user_m, 128, user_k},
+    };
+    for (const TileConfig& tile : candidates) {
+        ProsperityConfig config;
+        config.tile = tile;
+
+        ProsperityAccelerator accel(config);
+        const RunResult run = runWorkload(accel, w);
+
+        DensityOptions opt;
+        opt.tile = tile;
+        opt.max_sampled_tiles = 24;
+        const DensityReport density = analyzeWorkload(w, opt, 7);
+
+        const AreaModel area(config);
+        table.addRow({std::to_string(tile.m) + " x " +
+                          std::to_string(tile.k),
+                      Table::num(run.seconds() * 1e3, 3),
+                      Table::pct(density.productDensity()),
+                      Table::num(area.area().total(), 3),
+                      Table::num(area.peakOnChipPowerW(), 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading the table: bigger m exposes more prefix "
+                 "candidates (lower density, lower latency) but the "
+                 "TCAM, sorter and sparsity table grow super-linearly; "
+                 "the paper lands on 256 x 16 (Sec. VII-B).\n";
+    return 0;
+}

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * prosperity_cli — command-line driver for the simulator, the analogue
+ * of the original artifact's run scripts.
+ *
+ *   prosperity_cli list
+ *       Show every model, dataset, and accelerator name.
+ *   prosperity_cli run <model> <dataset> [accelerator] [--csv]
+ *       End-to-end simulation; default accelerator "all" compares the
+ *       full lineup. --csv prints machine-readable rows.
+ *   prosperity_cli density <model> <dataset> [--two-prefix]
+ *       Sparsity analysis of the workload.
+ *
+ * Examples:
+ *   prosperity_cli run VGG16 CIFAR100
+ *   prosperity_cli run SpikeBERT SST-2 Prosperity --csv
+ *   prosperity_cli density Spikformer CIFAR10 --two-prefix
+ */
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/density.h"
+#include "analysis/export.h"
+#include "analysis/runner.h"
+#include "baselines/a100.h"
+#include "baselines/eyeriss.h"
+#include "baselines/mint.h"
+#include "baselines/ptb.h"
+#include "baselines/sato.h"
+#include "baselines/stellar.h"
+#include "core/prosperity_accelerator.h"
+#include "sim/table.h"
+
+using namespace prosperity;
+
+namespace {
+
+const ModelId kModels[] = {
+    ModelId::kVgg16,      ModelId::kVgg9,     ModelId::kResNet18,
+    ModelId::kLeNet5,     ModelId::kSpikformer, ModelId::kSdt,
+    ModelId::kSpikeBert,  ModelId::kSpikingBert,
+};
+const DatasetId kDatasets[] = {
+    DatasetId::kCifar10, DatasetId::kCifar100, DatasetId::kCifar10Dvs,
+    DatasetId::kMnist,   DatasetId::kSst2,     DatasetId::kSst5,
+    DatasetId::kMr,      DatasetId::kQqp,      DatasetId::kMnli,
+};
+
+std::optional<ModelId>
+parseModel(const std::string& name)
+{
+    for (ModelId id : kModels)
+        if (name == modelName(id))
+            return id;
+    return std::nullopt;
+}
+
+std::optional<DatasetId>
+parseDataset(const std::string& name)
+{
+    for (DatasetId id : kDatasets)
+        if (name == datasetName(id))
+            return id;
+    return std::nullopt;
+}
+
+std::unique_ptr<Accelerator>
+makeAccelerator(const std::string& name)
+{
+    if (name == "Prosperity")
+        return std::make_unique<ProsperityAccelerator>();
+    if (name == "Eyeriss")
+        return std::make_unique<EyerissAccelerator>();
+    if (name == "PTB")
+        return std::make_unique<PtbAccelerator>();
+    if (name == "SATO")
+        return std::make_unique<SatoAccelerator>();
+    if (name == "MINT")
+        return std::make_unique<MintAccelerator>();
+    if (name == "Stellar")
+        return std::make_unique<StellarAccelerator>();
+    if (name == "A100")
+        return std::make_unique<A100Accelerator>();
+    return nullptr;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+        << "  prosperity_cli list\n"
+        << "  prosperity_cli run <model> <dataset> [accelerator|all]"
+           " [--csv]\n"
+        << "  prosperity_cli density <model> <dataset> [--two-prefix]\n";
+    return 2;
+}
+
+int
+cmdList()
+{
+    std::cout << "models:";
+    for (ModelId id : kModels)
+        std::cout << ' ' << modelName(id);
+    std::cout << "\ndatasets:";
+    for (DatasetId id : kDatasets)
+        std::cout << ' ' << datasetName(id);
+    std::cout << "\naccelerators: Prosperity Eyeriss PTB SATO MINT "
+                 "Stellar A100\n";
+    return 0;
+}
+
+int
+cmdRun(const Workload& workload, const std::string& accel_name, bool csv)
+{
+    std::vector<std::unique_ptr<Accelerator>> owned;
+    std::vector<Accelerator*> accels;
+    if (accel_name == "all") {
+        for (const char* name : {"Eyeriss", "PTB", "SATO", "MINT",
+                                 "Stellar", "A100", "Prosperity"}) {
+            owned.push_back(makeAccelerator(name));
+            accels.push_back(owned.back().get());
+        }
+    } else {
+        auto accel = makeAccelerator(accel_name);
+        if (!accel) {
+            std::cerr << "unknown accelerator: " << accel_name << '\n';
+            return usage();
+        }
+        owned.push_back(std::move(accel));
+        accels.push_back(owned.back().get());
+    }
+
+    const auto results = runWorkloadOnAll(accels, workload);
+    if (csv) {
+        exportRunResults(std::cout, results);
+        return 0;
+    }
+
+    Table table("End-to-end simulation: " + workload.name());
+    table.setHeader({"accelerator", "latency (ms)", "GOP/s", "GOP/J",
+                     "energy (mJ)", "avg power (W)"});
+    for (const RunResult& r : results)
+        table.addRow({r.accelerator, Table::num(r.seconds() * 1e3, 3),
+                      Table::num(r.gops()), Table::num(r.gopj()),
+                      Table::num(r.energy.totalPj() * 1e-9, 3),
+                      Table::num(r.averagePowerW(), 2)});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdDensity(const Workload& workload, bool two_prefix)
+{
+    DensityOptions options;
+    options.two_prefix = two_prefix;
+    options.max_sampled_tiles = 64;
+    const DensityReport report = analyzeWorkload(workload, options, 7);
+
+    Table table("Sparsity analysis: " + workload.name());
+    table.setHeader({"metric", "value"});
+    table.addRow({"bit density", Table::pct(report.bitDensity())});
+    table.addRow({"product density",
+                  Table::pct(report.productDensity())});
+    if (two_prefix)
+        table.addRow({"product density (2-prefix)",
+                      Table::pct(report.productDensityTwoPrefix())});
+    table.addRow({"reduction vs bit sparsity",
+                  Table::ratio(report.reductionVsBit(), 1)});
+    table.addRow({"rows with a prefix",
+                  Table::pct(report.onePrefixRatio(), 1)});
+    table.addRow({"exact matches",
+                  Table::num(report.exact_matches, 0)});
+    table.addRow({"partial matches",
+                  Table::num(report.partial_matches, 0)});
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    if (command == "list")
+        return cmdList();
+    if (argc < 4)
+        return usage();
+
+    const auto model = parseModel(argv[2]);
+    const auto dataset = parseDataset(argv[3]);
+    if (!model || !dataset) {
+        std::cerr << "unknown model or dataset (try `prosperity_cli "
+                     "list`)\n";
+        return 2;
+    }
+    const Workload workload = makeWorkload(*model, *dataset);
+
+    bool csv = false, two_prefix = false;
+    std::string accel_name = "all";
+    for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0)
+            csv = true;
+        else if (std::strcmp(argv[i], "--two-prefix") == 0)
+            two_prefix = true;
+        else
+            accel_name = argv[i];
+    }
+
+    if (command == "run")
+        return cmdRun(workload, accel_name, csv);
+    if (command == "density")
+        return cmdDensity(workload, two_prefix);
+    return usage();
+}

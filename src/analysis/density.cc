@@ -1,0 +1,155 @@
+#include "density.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/pruner.h"
+#include "gen/spike_generator.h"
+#include "sim/logging.h"
+
+namespace prosperity {
+
+void
+DensityReport::merge(const DensityReport& other)
+{
+    bits_total += other.bits_total;
+    bits_set += other.bits_set;
+    pattern_bits_one += other.pattern_bits_one;
+    pattern_bits_two += other.pattern_bits_two;
+    rows += other.rows;
+    rows_one_prefix += other.rows_one_prefix;
+    rows_two_prefix += other.rows_two_prefix;
+    exact_matches += other.exact_matches;
+    partial_matches += other.partial_matches;
+}
+
+namespace {
+
+/** Analyze one cropped tile, optionally selecting a second prefix. */
+DensityReport
+analyzeTile(const BitMatrix& tile, const DetectionResult& detection,
+            const SparsityTable& table, bool two_prefix)
+{
+    DensityReport report;
+    const std::size_t m = tile.rows();
+    report.rows = static_cast<double>(m);
+    report.bits_total =
+        static_cast<double>(m) * static_cast<double>(tile.cols());
+
+    for (std::size_t i = 0; i < m; ++i) {
+        const PrefixEntry& entry = table[i];
+        report.bits_set += static_cast<double>(entry.popcount);
+        const std::size_t residual_one = entry.pattern.popcount();
+        report.pattern_bits_one += static_cast<double>(residual_one);
+        if (entry.hasPrefix()) {
+            report.rows_one_prefix += 1.0;
+            if (entry.kind == PrefixKind::kExactMatch)
+                report.exact_matches += 1.0;
+            else
+                report.partial_matches += 1.0;
+        }
+
+        if (!two_prefix) {
+            report.pattern_bits_two += static_cast<double>(residual_one);
+            continue;
+        }
+
+        // Second prefix: the largest candidate fully inside the residual
+        // pattern (guaranteeing disjointness from the first prefix).
+        std::size_t best_pops = 1; // a useful second prefix has >= 2 ones
+        std::int32_t best = -1;
+        if (entry.hasPrefix() && residual_one >= 2) {
+            const BitVector& candidates = detection.subset_mask[i];
+            for (std::size_t j = candidates.findFirst(); j < m;
+                 j = candidates.findNext(j)) {
+                if (static_cast<std::int32_t>(j) == entry.prefix)
+                    continue;
+                const std::size_t pops = detection.popcounts[j];
+                if (pops > best_pops &&
+                    tile.row(j).isSubsetOf(entry.pattern)) {
+                    best_pops = pops;
+                    best = static_cast<std::int32_t>(j);
+                }
+            }
+        }
+        if (best >= 0) {
+            report.rows_two_prefix += 1.0;
+            report.pattern_bits_two +=
+                static_cast<double>(residual_one - best_pops);
+        } else {
+            report.pattern_bits_two += static_cast<double>(residual_one);
+        }
+    }
+    return report;
+}
+
+} // namespace
+
+DensityReport
+analyzeMatrix(const BitMatrix& spikes, const DensityOptions& options)
+{
+    const TileConfig& tile = options.tile;
+    std::vector<std::pair<std::size_t, std::size_t>> origins;
+    for (std::size_t r = 0; r < spikes.rows(); r += tile.m)
+        for (std::size_t c = 0; c < spikes.cols(); c += tile.k)
+            origins.emplace_back(r, c);
+
+    double scale = 1.0;
+    if (options.max_sampled_tiles > 0 &&
+        origins.size() > options.max_sampled_tiles) {
+        std::vector<std::pair<std::size_t, std::size_t>> sampled;
+        const double stride = static_cast<double>(origins.size()) /
+                              static_cast<double>(options.max_sampled_tiles);
+        for (std::size_t i = 0; i < options.max_sampled_tiles; ++i)
+            sampled.push_back(
+                origins[static_cast<std::size_t>(i * stride)]);
+        scale = static_cast<double>(origins.size()) /
+                static_cast<double>(sampled.size());
+        origins = std::move(sampled);
+    }
+
+    Detector detector;
+    Pruner pruner;
+    DensityReport total;
+    for (const auto& [r0, c0] : origins) {
+        const BitMatrix t = spikes.tile(r0, c0, tile.m, tile.k);
+        const DetectionResult detection = detector.detect(t);
+        const SparsityTable table = pruner.prune(t, detection);
+        DensityReport tile_report =
+            analyzeTile(t, detection, table, options.two_prefix);
+        tile_report.bits_total *= scale;
+        tile_report.bits_set *= scale;
+        tile_report.pattern_bits_one *= scale;
+        tile_report.pattern_bits_two *= scale;
+        tile_report.rows *= scale;
+        tile_report.rows_one_prefix *= scale;
+        tile_report.rows_two_prefix *= scale;
+        tile_report.exact_matches *= scale;
+        tile_report.partial_matches *= scale;
+        total.merge(tile_report);
+    }
+    return total;
+}
+
+DensityReport
+analyzeWorkload(const Workload& workload, const DensityOptions& options,
+                std::uint64_t seed)
+{
+    const ModelSpec model = workload.buildModel();
+    const SpikeGenerator gen(workload.profile, seed);
+
+    DensityReport total;
+    std::size_t layer_index = 0;
+    for (const auto& layer : model.layers) {
+        ++layer_index;
+        if (!layer.isSpikingGemm())
+            continue;
+        const BitMatrix spikes = gen.generateLayer(layer, layer_index);
+        total.merge(analyzeMatrix(spikes, options));
+    }
+    return total;
+}
+
+} // namespace prosperity

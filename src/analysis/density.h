@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sparsity analytics: bit density, product density (one- and two-prefix)
+ * and match statistics, per matrix and per workload.
+ *
+ * These drive Table I (density columns), Table II (one- vs two-prefix),
+ * Table V (LoAS + ProSparsity) and Fig. 11 (density comparison). The
+ * two-prefix variant exists only here: the paper measures its benefit
+ * but deliberately does not build hardware for it (Sec. III-D).
+ */
+
+#ifndef PROSPERITY_ANALYSIS_DENSITY_H
+#define PROSPERITY_ANALYSIS_DENSITY_H
+
+#include <cstdint>
+
+#include "bitmatrix/bit_matrix.h"
+#include "snn/workload.h"
+
+namespace prosperity {
+
+/** Aggregated sparsity statistics of one matrix or workload. */
+struct DensityReport
+{
+    double bits_total = 0.0;
+    double bits_set = 0.0;          ///< raw spikes
+    double pattern_bits_one = 0.0;  ///< residual bits, one prefix
+    double pattern_bits_two = 0.0;  ///< residual bits, up to two prefixes
+
+    double rows = 0.0;
+    double rows_one_prefix = 0.0;   ///< rows using exactly one prefix
+    double rows_two_prefix = 0.0;   ///< rows using a second prefix too
+    double exact_matches = 0.0;
+    double partial_matches = 0.0;
+
+    /** Fraction of positions holding a spike. */
+    double bitDensity() const
+    {
+        return bits_total > 0.0 ? bits_set / bits_total : 0.0;
+    }
+
+    /** Fraction of positions still computed under one-prefix
+     *  ProSparsity (the paper's "Pro Density"). */
+    double productDensity() const
+    {
+        return bits_total > 0.0 ? pattern_bits_one / bits_total : 0.0;
+    }
+
+    /** Product density when a second prefix is allowed (Table II). */
+    double productDensityTwoPrefix() const
+    {
+        return bits_total > 0.0 ? pattern_bits_two / bits_total : 0.0;
+    }
+
+    /** Fraction of rows that found exactly one / a second prefix. */
+    double onePrefixRatio() const
+    {
+        return rows > 0.0 ? rows_one_prefix / rows : 0.0;
+    }
+    double twoPrefixRatio() const
+    {
+        return rows > 0.0 ? rows_two_prefix / rows : 0.0;
+    }
+
+    /** Computation reduction of ProSparsity vs bit sparsity. */
+    double reductionVsBit() const
+    {
+        return pattern_bits_one > 0.0 ? bits_set / pattern_bits_one : 0.0;
+    }
+
+    void merge(const DensityReport& other);
+};
+
+/** Analysis options. */
+struct DensityOptions
+{
+    TileConfig tile{};
+    bool two_prefix = false;          ///< also evaluate a second prefix
+    std::size_t max_sampled_tiles = 96; ///< 0 = analyze every tile
+};
+
+/** Analyze one spike matrix tile-by-tile. */
+DensityReport analyzeMatrix(const BitMatrix& spikes,
+                            const DensityOptions& options = {});
+
+/**
+ * Analyze a workload: generate every spiking-GeMM layer's activation
+ * (calibrated synthetic, DESIGN.md) and merge the per-layer reports.
+ */
+DensityReport analyzeWorkload(const Workload& workload,
+                              const DensityOptions& options = {},
+                              std::uint64_t seed = 7);
+
+} // namespace prosperity
+
+#endif // PROSPERITY_ANALYSIS_DENSITY_H

@@ -1,0 +1,82 @@
+#include "export.h"
+
+#include <sstream>
+
+namespace prosperity {
+
+namespace {
+
+std::string
+quoteIfNeeded(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
+void
+CsvWriter::writeRow(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << quoteIfNeeded(cells[i]);
+    }
+    os_ << '\n';
+}
+
+std::string
+CsvWriter::cell(double v)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << v;
+    return os.str();
+}
+
+void
+exportRunResults(std::ostream& os, const std::vector<RunResult>& results)
+{
+    CsvWriter csv(os);
+    csv.writeRow({"workload", "accelerator", "cycles", "seconds",
+                  "gops", "gopj", "energy_pj", "avg_power_w"});
+    for (const RunResult& r : results) {
+        csv.writeRow({r.workload, r.accelerator, CsvWriter::cell(r.cycles),
+                      CsvWriter::cell(r.seconds()),
+                      CsvWriter::cell(r.gops()), CsvWriter::cell(r.gopj()),
+                      CsvWriter::cell(r.energy.totalPj()),
+                      CsvWriter::cell(r.averagePowerW())});
+    }
+}
+
+void
+exportDensities(std::ostream& os,
+                const std::vector<NamedDensity>& densities)
+{
+    CsvWriter csv(os);
+    csv.writeRow({"workload", "bit_density", "product_density",
+                  "product_density_two_prefix", "one_prefix_ratio",
+                  "two_prefix_ratio", "exact_matches",
+                  "partial_matches"});
+    for (const NamedDensity& d : densities) {
+        csv.writeRow({d.workload,
+                      CsvWriter::cell(d.report.bitDensity()),
+                      CsvWriter::cell(d.report.productDensity()),
+                      CsvWriter::cell(d.report.productDensityTwoPrefix()),
+                      CsvWriter::cell(d.report.onePrefixRatio()),
+                      CsvWriter::cell(d.report.twoPrefixRatio()),
+                      CsvWriter::cell(d.report.exact_matches),
+                      CsvWriter::cell(d.report.partial_matches)});
+    }
+}
+
+} // namespace prosperity

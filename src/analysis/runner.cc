@@ -1,0 +1,157 @@
+#include "runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/spike_generator.h"
+#include "sim/logging.h"
+
+namespace prosperity {
+
+RunResult
+runWorkload(Accelerator& accel, const Workload& workload,
+            const RunOptions& options)
+{
+    const ModelSpec model = workload.buildModel();
+    const SpikeGenerator gen(workload.profile, options.seed);
+
+    RunResult result;
+    result.accelerator = accel.name();
+    result.workload = workload.name();
+    result.tech = accel.tech();
+
+    ModelHints hints;
+    hints.time_steps = model.time_steps;
+    accel.beginModel(hints);
+
+    std::size_t layer_index = 0;
+    for (const auto& layer : model.layers) {
+        ++layer_index;
+        double cycles = 0.0;
+
+        if (layer.isSpikingGemm()) {
+            const BitMatrix spikes = gen.generateLayer(layer, layer_index);
+            cycles = accel.runSpikingGemm(layer.gemm, spikes,
+                                          result.energy);
+            result.dense_macs += layer.denseOps();
+            // Output currents feed the spiking neuron array.
+            accel.runLif(static_cast<double>(layer.gemm.m) *
+                             static_cast<double>(layer.gemm.n),
+                         result.energy);
+        } else if (layer.gemm.m > 0) {
+            // Direct-coded (non-spiking) GeMM, e.g. the first conv.
+            cycles = accel.runDenseGemm(layer.gemm, result.energy);
+            result.dense_macs += layer.denseOps();
+        }
+        if (layer.sfu_ops > 0.0)
+            cycles += accel.runSfu(layer.sfu_ops, result.energy);
+
+        result.energy.charge("static", accel.staticPjPerCycle(), cycles);
+        result.cycles += cycles;
+        if (options.keep_layer_records)
+            result.layers.push_back(
+                LayerRunRecord{layer.name, cycles, layer.denseOps()});
+    }
+    return result;
+}
+
+std::vector<RunResult>
+runWorkloadOnAll(const std::vector<Accelerator*>& accels,
+                 const Workload& workload, const RunOptions& options)
+{
+    const ModelSpec model = workload.buildModel();
+    const SpikeGenerator gen(workload.profile, options.seed);
+
+    std::vector<RunResult> results(accels.size());
+    ModelHints hints;
+    hints.time_steps = model.time_steps;
+    for (std::size_t a = 0; a < accels.size(); ++a) {
+        results[a].accelerator = accels[a]->name();
+        results[a].workload = workload.name();
+        results[a].tech = accels[a]->tech();
+        accels[a]->beginModel(hints);
+    }
+
+    std::size_t layer_index = 0;
+    for (const auto& layer : model.layers) {
+        ++layer_index;
+        BitMatrix spikes;
+        if (layer.isSpikingGemm())
+            spikes = gen.generateLayer(layer, layer_index);
+
+        for (std::size_t a = 0; a < accels.size(); ++a) {
+            RunResult& result = results[a];
+            double cycles = 0.0;
+            if (layer.isSpikingGemm()) {
+                cycles = accels[a]->runSpikingGemm(layer.gemm, spikes,
+                                                   result.energy);
+                result.dense_macs += layer.denseOps();
+                accels[a]->runLif(static_cast<double>(layer.gemm.m) *
+                                      static_cast<double>(layer.gemm.n),
+                                  result.energy);
+            } else if (layer.gemm.m > 0) {
+                cycles = accels[a]->runDenseGemm(layer.gemm,
+                                                 result.energy);
+                result.dense_macs += layer.denseOps();
+            }
+            if (layer.sfu_ops > 0.0)
+                cycles += accels[a]->runSfu(layer.sfu_ops, result.energy);
+            result.energy.charge("static", accels[a]->staticPjPerCycle(),
+                                 cycles);
+            result.cycles += cycles;
+            if (options.keep_layer_records)
+                result.layers.push_back(LayerRunRecord{
+                    layer.name, cycles, layer.denseOps()});
+        }
+    }
+    return results;
+}
+
+AveragedRunResult
+runWorkloadAveraged(Accelerator& accel, const Workload& workload,
+                    std::size_t samples, const RunOptions& options)
+{
+    PROSPERITY_ASSERT(samples > 0, "need at least one sample");
+    AveragedRunResult out;
+    double min_cycles = 0.0, max_cycles = 0.0;
+    for (std::size_t i = 0; i < samples; ++i) {
+        RunOptions per_sample = options;
+        per_sample.seed = options.seed + i;
+        const RunResult r = runWorkload(accel, workload, per_sample);
+        if (i == 0) {
+            out.mean = r;
+            min_cycles = max_cycles = r.cycles;
+        } else {
+            out.mean.cycles += r.cycles;
+            out.mean.energy.merge(r.energy);
+            min_cycles = std::min(min_cycles, r.cycles);
+            max_cycles = std::max(max_cycles, r.cycles);
+        }
+    }
+    const double n = static_cast<double>(samples);
+    out.mean.cycles /= n;
+    // Scale merged energy back to a single inference.
+    EnergyModel scaled;
+    for (const auto& [component, pj] : out.mean.energy.breakdown())
+        scaled.charge(component, pj / n, 1.0);
+    out.mean.energy = scaled;
+    out.cycles_rel_spread =
+        out.mean.cycles > 0.0 ? (max_cycles - min_cycles) / out.mean.cycles
+                              : 0.0;
+    return out;
+}
+
+double
+geometricMean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        PROSPERITY_ASSERT(v > 0.0, "geometric mean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace prosperity

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Workload runner: drives an Accelerator through every layer of a
+ * (model, dataset) workload with calibrated synthetic activations, and
+ * aggregates latency / energy / throughput — the machinery behind
+ * Table IV, Fig. 8 and Fig. 9.
+ */
+
+#ifndef PROSPERITY_ANALYSIS_RUNNER_H
+#define PROSPERITY_ANALYSIS_RUNNER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "snn/workload.h"
+
+namespace prosperity {
+
+/** Per-layer record for inspection. */
+struct LayerRunRecord
+{
+    std::string layer_name;
+    double cycles = 0.0;
+    double dense_macs = 0.0;
+};
+
+/** End-to-end result of one workload on one accelerator. */
+struct RunResult
+{
+    std::string accelerator;
+    std::string workload;
+
+    double cycles = 0.0;
+    double dense_macs = 0.0; ///< MACs of all GeMM layers (dense count)
+    EnergyModel energy;
+    Tech tech;
+
+    std::vector<LayerRunRecord> layers;
+
+    /** Wall-clock seconds at the design's frequency. */
+    double seconds() const { return tech.secondsFor(cycles); }
+
+    /** Dense-equivalent throughput in GOP/s (Table IV). One OP is one
+     *  accumulate position of the dense GeMM — the paper's convention,
+     *  under which Eyeriss's 168 MACs at 35% utilization produce its
+     *  reported 29.4 GOP/s. */
+    double gops() const
+    {
+        const double s = seconds();
+        return s > 0.0 ? dense_macs / s / 1e9 : 0.0;
+    }
+
+    /** Energy efficiency, GOP/J (Table IV, same OP convention). */
+    double gopj() const
+    {
+        const double joules = energy.totalPj() * 1e-12;
+        return joules > 0.0 ? dense_macs / joules / 1e9 : 0.0;
+    }
+
+    /** Average power in watts over the run. */
+    double averagePowerW() const
+    {
+        return energy.averagePowerW(cycles, tech);
+    }
+};
+
+/** Runner options. */
+struct RunOptions
+{
+    std::uint64_t seed = 7;
+    bool keep_layer_records = false;
+};
+
+/** Run one workload end to end on `accel`. */
+RunResult runWorkload(Accelerator& accel, const Workload& workload,
+                      const RunOptions& options = {});
+
+/**
+ * Run one workload on several accelerators, generating each layer's
+ * spike matrix once and feeding it to all of them — identical results
+ * to per-accelerator runWorkload calls, much less generation time.
+ */
+std::vector<RunResult> runWorkloadOnAll(
+    const std::vector<Accelerator*>& accels, const Workload& workload,
+    const RunOptions& options = {});
+
+/**
+ * Dataset-style averaging: run `samples` independent activation draws
+ * (seeds options.seed, options.seed+1, ...) and return the mean-cycles
+ * result with merged energy (scaled back to one inference), plus the
+ * relative spread. Mirrors the paper's methodology of averaging the
+ * A100/end-to-end measurements over the whole dataset.
+ */
+struct AveragedRunResult
+{
+    RunResult mean;              ///< cycles/energy averaged per sample
+    double cycles_rel_spread = 0.0; ///< (max - min) / mean cycles
+};
+AveragedRunResult runWorkloadAveraged(Accelerator& accel,
+                                      const Workload& workload,
+                                      std::size_t samples,
+                                      const RunOptions& options = {});
+
+/** Geometric mean helper for the Fig. 8 summary columns. */
+double geometricMean(const std::vector<double>& values);
+
+} // namespace prosperity
+
+#endif // PROSPERITY_ANALYSIS_RUNNER_H

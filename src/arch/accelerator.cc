@@ -1,0 +1,63 @@
+#include "accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace prosperity {
+
+double
+Accelerator::runDenseGemm(const GemmShape& shape, EnergyModel& energy)
+{
+    const double macs = shape.denseOps();
+    energy.charge("processor", energy.params().pe_mac8_pj, macs);
+    chargeDramTraffic(shape, 256, 32 * 1024, energy);
+    return macs / static_cast<double>(std::max<std::size_t>(1, numPes()));
+}
+
+double
+Accelerator::runSfu(double ops, EnergyModel& energy)
+{
+    energy.charge("other", energy.params().sfu_op_pj, ops);
+    return ops / 32.0;
+}
+
+void
+Accelerator::runLif(double neuron_updates, EnergyModel& energy)
+{
+    energy.charge("other", energy.params().lif_update_pj, neuron_updates);
+}
+
+double
+Accelerator::chargeDramTraffic(const GemmShape& shape,
+                               std::size_t row_tile,
+                               std::size_t weight_buffer_bytes,
+                               EnergyModel& energy) const
+{
+    // Weight-resident dataflow: weights stream once; the packed spike
+    // matrix re-streams once per output-column pass when it exceeds the
+    // (row_tile x k)-sized spike staging buffer.
+    (void)weight_buffer_bytes;
+    const double spikes_in =
+        static_cast<double>(shape.m) * static_cast<double>(shape.k) /
+        8.0 / static_cast<double>(std::max<std::size_t>(1,
+                                                        shape.input_reuse));
+    const double weight_bytes =
+        static_cast<double>(shape.k) * static_cast<double>(shape.n);
+    const double spike_passes =
+        spikes_in > 8.0 * 1024.0
+            ? std::ceil(static_cast<double>(shape.n) /
+                        static_cast<double>(std::max<std::size_t>(1,
+                                                                  row_tile)))
+            : 1.0;
+    const double spikes_out =
+        static_cast<double>(shape.m) * static_cast<double>(shape.n) / 8.0;
+
+    const double bytes = spikes_in * spike_passes + weight_bytes +
+                         spikes_out;
+    energy.charge("dram", energy.params().dram_per_byte_pj, bytes);
+    return bytes;
+}
+
+} // namespace prosperity

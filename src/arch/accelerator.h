@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Common accelerator interface.
+ *
+ * Every modeled design — Prosperity and the baselines of Table IV /
+ * Fig. 8 (Eyeriss, PTB, SATO, MINT, Stellar, A100) — implements this
+ * interface: given a layer's GeMM geometry and (for spike-consuming
+ * designs) the actual spike matrix, return the cycles spent and charge
+ * activity to an EnergyModel. The workload runner in src/analysis
+ * drives whole models through it.
+ */
+
+#ifndef PROSPERITY_ARCH_ACCELERATOR_H
+#define PROSPERITY_ARCH_ACCELERATOR_H
+
+#include <string>
+
+#include "arch/energy_model.h"
+#include "arch/tech.h"
+#include "bitmatrix/bit_matrix.h"
+
+namespace prosperity {
+
+/** Model-level information passed to accelerators before layers run. */
+struct ModelHints
+{
+    std::size_t time_steps = 4;
+};
+
+/** Abstract accelerator cost model. */
+class Accelerator
+{
+  public:
+    virtual ~Accelerator() = default;
+
+    /** Display name used in reports. */
+    virtual std::string name() const = 0;
+
+    /** Number of processing elements (Table IV). */
+    virtual std::size_t numPes() const = 0;
+
+    /** Silicon area in mm^2 (Table IV). */
+    virtual double areaMm2() const = 0;
+
+    /**
+     * Static + control energy per cycle (clock tree, leakage, sparsity
+     * preprocessing overheads), charged by the workload runner for
+     * every elapsed cycle. Designs that model it inside their dynamic
+     * charges (Prosperity's "other", the A100's board power) return 0.
+     */
+    virtual double staticPjPerCycle() const { return 0.0; }
+
+    /** Clock/technology (all designs share 500 MHz / 28 nm). */
+    virtual Tech tech() const { return Tech{}; }
+
+    /**
+     * Called by the workload runner before a model's layers stream in;
+     * lets time-batching designs (PTB) learn the model's T.
+     */
+    virtual void beginModel(const ModelHints& hints) { (void)hints; }
+
+    /**
+     * Simulate one spiking GeMM of `shape` whose left operand is
+     * `spikes`; returns cycles and charges energy.
+     */
+    virtual double runSpikingGemm(const GemmShape& shape,
+                                  const BitMatrix& spikes,
+                                  EnergyModel& energy) = 0;
+
+    /**
+     * Simulate a dense (non-spiking) GeMM, e.g. the first direct-coded
+     * convolution. Default: MAC-per-PE-per-cycle with 8-bit MAC energy.
+     */
+    virtual double runDenseGemm(const GemmShape& shape,
+                                EnergyModel& energy);
+
+    /**
+     * Simulate `ops` special-function operations (softmax/layer norm in
+     * spiking transformers). Default: 32 ops/cycle SFU.
+     */
+    virtual double runSfu(double ops, EnergyModel& energy);
+
+    /** Charge LIF neuron-update energy (overlapped, no cycles). */
+    virtual void runLif(double neuron_updates, EnergyModel& energy);
+
+  protected:
+    /**
+     * Default DRAM traffic for one spiking GeMM: packed spikes in,
+     * 8-bit weights (re-streamed once per row-tile pass when they
+     * exceed `weight_buffer_bytes`), packed spikes out. Returns bytes
+     * moved and charges DRAM energy.
+     */
+    double chargeDramTraffic(const GemmShape& shape,
+                             std::size_t row_tile,
+                             std::size_t weight_buffer_bytes,
+                             EnergyModel& energy) const;
+};
+
+} // namespace prosperity
+
+#endif // PROSPERITY_ARCH_ACCELERATOR_H

@@ -1,0 +1,79 @@
+#include "dram_timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace prosperity {
+
+double
+DramTimingModel::burstBytes() const
+{
+    return static_cast<double>(params_.bus_bytes) *
+           static_cast<double>(params_.burst_length);
+}
+
+double
+DramTimingModel::memoryCyclesFor(double bytes, double row_hit_rate) const
+{
+    PROSPERITY_ASSERT(row_hit_rate >= 0.0 && row_hit_rate <= 1.0,
+                      "hit rate must lie in [0, 1]");
+    if (bytes <= 0.0)
+        return 0.0;
+
+    const double per_channel_bytes =
+        bytes / static_cast<double>(params_.channels);
+    const double bursts =
+        std::ceil(per_channel_bytes / burstBytes());
+
+    // A hit burst occupies the bus for burst_length/2 memory cycles
+    // (double data rate). A miss additionally pays precharge +
+    // activate + CAS; with 16 banks per channel, streaming patterns
+    // overlap most of that latency behind other banks' transfers
+    // (about three quarters hidden).
+    const double hit_cycles =
+        static_cast<double>(params_.burst_length) / 2.0;
+    const double miss_penalty =
+        (params_.t_rp + params_.t_rcd + params_.t_cas) * 0.25;
+
+    return bursts * (hit_cycles + (1.0 - row_hit_rate) * miss_penalty);
+}
+
+double
+DramTimingModel::cyclesFor(double bytes, double row_hit_rate,
+                           const Tech& tech) const
+{
+    const double seconds =
+        memoryCyclesFor(bytes, row_hit_rate) / params_.io_clock_hz;
+    return seconds * tech.frequency_hz;
+}
+
+double
+DramTimingModel::effectiveBandwidth(double row_hit_rate) const
+{
+    const double probe_bytes = 1e6;
+    const double seconds =
+        memoryCyclesFor(probe_bytes, row_hit_rate) / params_.io_clock_hz;
+    return probe_bytes / seconds;
+}
+
+double
+DramTimingModel::transferEnergyPj(double bytes, double row_hit_rate) const
+{
+    if (bytes <= 0.0)
+        return 0.0;
+    const double bursts = std::ceil(bytes / burstBytes());
+    const double misses = bursts * (1.0 - row_hit_rate);
+    return misses * params_.activate_pj +
+           bytes * (params_.read_write_per_byte_pj +
+                    params_.io_per_byte_pj);
+}
+
+double
+DramTimingModel::backgroundEnergyPj(double seconds) const
+{
+    return std::max(0.0, seconds) * params_.background_pw_per_s;
+}
+
+} // namespace prosperity

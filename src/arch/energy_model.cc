@@ -1,0 +1,47 @@
+#include "energy_model.h"
+
+#include "sim/logging.h"
+
+namespace prosperity {
+
+void
+EnergyModel::charge(const std::string& component, double pj_each,
+                    double count)
+{
+    PROSPERITY_ASSERT(pj_each >= 0.0 && count >= 0.0,
+                      "negative energy charge");
+    breakdown_[component] += pj_each * count;
+}
+
+double
+EnergyModel::totalPj() const
+{
+    double total = 0.0;
+    for (const auto& [component, pj] : breakdown_)
+        total += pj;
+    return total;
+}
+
+double
+EnergyModel::componentPj(const std::string& component) const
+{
+    auto it = breakdown_.find(component);
+    return it == breakdown_.end() ? 0.0 : it->second;
+}
+
+double
+EnergyModel::averagePowerW(double cycles, const Tech& tech) const
+{
+    if (cycles <= 0.0)
+        return 0.0;
+    return totalPj() * 1e-12 / tech.secondsFor(cycles);
+}
+
+void
+EnergyModel::merge(const EnergyModel& other)
+{
+    for (const auto& [component, pj] : other.breakdown_)
+        breakdown_[component] += pj;
+}
+
+} // namespace prosperity

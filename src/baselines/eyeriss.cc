@@ -1,0 +1,54 @@
+#include "eyeriss.h"
+
+#include <algorithm>
+
+#include "baselines/calibration.h"
+
+namespace prosperity {
+
+std::size_t
+EyerissAccelerator::numPes() const
+{
+    return calibration::kEyerissPes;
+}
+
+double
+EyerissAccelerator::areaMm2() const
+{
+    return calibration::kEyerissAreaMm2;
+}
+
+double
+EyerissAccelerator::runSpikingGemm(const GemmShape& shape,
+                                   const BitMatrix& spikes,
+                                   EnergyModel& energy)
+{
+    (void)spikes; // dense processing ignores the spike pattern
+    const double macs = shape.denseOps();
+    energy.charge("processor", energy.params().pe_mac8_pj, macs);
+    // Dense designs stream full-width activations, not packed bits.
+    const double act_bytes =
+        static_cast<double>(shape.m) * static_cast<double>(shape.k) /
+        static_cast<double>(std::max<std::size_t>(1, shape.input_reuse));
+    const double weight_bytes =
+        static_cast<double>(shape.k) * static_cast<double>(shape.n);
+    const double out_bytes =
+        static_cast<double>(shape.m) * static_cast<double>(shape.n);
+    const double dram_bytes = act_bytes + weight_bytes + out_bytes;
+    energy.charge("dram", energy.params().dram_per_byte_pj, dram_bytes);
+    energy.charge("buffer", 0.6, macs); // operand staging per MAC
+
+    const double compute_cycles =
+        macs / (static_cast<double>(numPes()) *
+                calibration::kEyerissUtilization);
+    const double dram_cycles = DramConfig{}.cyclesFor(dram_bytes, tech());
+    return std::max(compute_cycles, dram_cycles);
+}
+
+double
+EyerissAccelerator::staticPjPerCycle() const
+{
+    return calibration::kEyerissStaticPjPerCycle;
+}
+
+} // namespace prosperity

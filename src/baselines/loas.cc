@@ -1,0 +1,54 @@
+#include "loas.h"
+
+#include "sim/logging.h"
+
+namespace prosperity {
+
+std::vector<LoasModel>
+loasModelCatalog()
+{
+    // Weight + activation densities as reported in Table V's LoAS
+    // column (AlexNet / VGG-16 / ResNet-19 pruned with minimal
+    // accuracy loss).
+    return {
+        {"AlexNet", 0.018, 0.2932},
+        {"VGG-16", 0.018, 0.3107},
+        {"ResNet-19", 0.040, 0.3568},
+    };
+}
+
+BitMatrix
+Loas::weightMask(std::size_t k, std::size_t n, double weight_density,
+                 Rng& rng)
+{
+    PROSPERITY_ASSERT(weight_density > 0.0 && weight_density <= 1.0,
+                      "weight density must lie in (0, 1]");
+    BitMatrix mask(k, n);
+    mask.randomize(rng, weight_density);
+    return mask;
+}
+
+double
+Loas::dualSideOps(const BitMatrix& spikes, const BitMatrix& weight_mask)
+{
+    PROSPERITY_ASSERT(spikes.cols() == weight_mask.rows(),
+                      "GeMM inner dimensions disagree");
+    // ops = sum over output columns of popcount(spike_row AND w_col).
+    // Count column-wise by transposing the mask walk: for each weight
+    // row r (spike column r), every surviving weight in that row meets
+    // popcount(spike column r) spikes.
+    std::vector<std::size_t> spikes_per_col(spikes.cols(), 0);
+    for (std::size_t i = 0; i < spikes.rows(); ++i) {
+        const BitVector& row = spikes.row(i);
+        for (std::size_t c = row.findFirst(); c < spikes.cols();
+             c = row.findNext(c))
+            ++spikes_per_col[c];
+    }
+    double ops = 0.0;
+    for (std::size_t r = 0; r < weight_mask.rows(); ++r)
+        ops += static_cast<double>(weight_mask.row(r).popcount()) *
+               static_cast<double>(spikes_per_col[r]);
+    return ops;
+}
+
+} // namespace prosperity

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * LoAS (Yin et al., 2024): fully temporal-parallel dataflow for
+ * dual-sparse SNNs — pruned (sparse) weights combined with spike bit
+ * sparsity. The paper's Table V applies ProSparsity on top of
+ * LoAS-pruned models to show the two are orthogonal: weight density is
+ * untouched while activation density drops a further ~4x.
+ *
+ * This module implements the dual-side op counting (a scalar add fires
+ * only where a spike meets a surviving weight) and carries the pruned
+ * model catalog from the LoAS paper (weight densities 1.8-4.0%).
+ */
+
+#ifndef PROSPERITY_BASELINES_LOAS_H
+#define PROSPERITY_BASELINES_LOAS_H
+
+#include <string>
+#include <vector>
+
+#include "bitmatrix/bit_matrix.h"
+#include "sim/rng.h"
+
+namespace prosperity {
+
+/** One LoAS-pruned model from their paper. */
+struct LoasModel
+{
+    std::string name;
+    double weight_density;     ///< surviving weight fraction
+    double activation_density; ///< LIF spike density of the pruned model
+};
+
+/** The three pruned models evaluated in Table V. */
+std::vector<LoasModel> loasModelCatalog();
+
+/** Dual-side sparsity math. */
+class Loas
+{
+  public:
+    /**
+     * Generate a K x N binary weight mask at `weight_density`
+     * (unstructured pruning, as LoAS trains).
+     */
+    static BitMatrix weightMask(std::size_t k, std::size_t n,
+                                double weight_density, Rng& rng);
+
+    /**
+     * Scalar adds of a dual-sparse spiking GeMM: for each (row, col)
+     * output, one add per position where the spike row and the weight
+     * column both survive.
+     */
+    static double dualSideOps(const BitMatrix& spikes,
+                              const BitMatrix& weight_mask);
+};
+
+} // namespace prosperity
+
+#endif // PROSPERITY_BASELINES_LOAS_H

@@ -1,0 +1,75 @@
+#include "ptb.h"
+
+#include <algorithm>
+
+#include "baselines/calibration.h"
+#include "sim/logging.h"
+
+namespace prosperity {
+
+std::size_t
+PtbAccelerator::numPes() const
+{
+    return calibration::kPtbPes;
+}
+
+double
+PtbAccelerator::structuredOps(const BitMatrix& spikes,
+                              std::size_t time_steps, std::size_t n)
+{
+    const std::size_t m = spikes.rows();
+    if (m == 0 || spikes.cols() == 0)
+        return 0.0;
+
+    // Rows are t-major: position i of step t is row t * positions + i.
+    std::size_t t = std::max<std::size_t>(1, time_steps);
+    if (m % t != 0)
+        t = 1; // attention-style GeMMs: no clean temporal layout
+    const std::size_t positions = m / t;
+    const std::size_t window = std::min(t, calibration::kPtbTimeWindow);
+    const std::size_t windows = (t + window - 1) / window;
+
+    double live_window_bits = 0.0;
+    for (std::size_t i = 0; i < positions; ++i) {
+        for (std::size_t w = 0; w < windows; ++w) {
+            // OR the window's rows: a set bit marks a live window slot.
+            BitVector live(spikes.cols());
+            std::size_t steps_in_window = 0;
+            for (std::size_t dt = 0; dt < window; ++dt) {
+                const std::size_t step = w * window + dt;
+                if (step >= t)
+                    break;
+                live |= spikes.row(step * positions + i);
+                ++steps_in_window;
+            }
+            live_window_bits += static_cast<double>(live.popcount()) *
+                                static_cast<double>(steps_in_window);
+        }
+    }
+    return live_window_bits * static_cast<double>(n);
+}
+
+double
+PtbAccelerator::runSpikingGemm(const GemmShape& shape,
+                               const BitMatrix& spikes, EnergyModel& energy)
+{
+    const double ops = structuredOps(spikes, time_steps_, shape.n);
+    energy.charge("processor", energy.params().pe_add8_pj, ops);
+    energy.charge("buffer", 0.55, ops); // weight fetch per add
+    const double dram_bytes =
+        chargeDramTraffic(shape, 128, 32 * 1024, energy);
+
+    const double compute_cycles =
+        ops / (static_cast<double>(numPes()) *
+               calibration::kPtbUtilization);
+    const double dram_cycles = DramConfig{}.cyclesFor(dram_bytes, tech());
+    return std::max(compute_cycles, dram_cycles);
+}
+
+double
+PtbAccelerator::staticPjPerCycle() const
+{
+    return calibration::kPtbStaticPjPerCycle;
+}
+
+} // namespace prosperity

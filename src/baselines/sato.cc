@@ -1,0 +1,77 @@
+#include "sato.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "baselines/calibration.h"
+
+namespace prosperity {
+
+std::size_t
+SatoAccelerator::numPes() const
+{
+    return calibration::kSatoPes;
+}
+
+double
+SatoAccelerator::areaMm2() const
+{
+    return calibration::kSatoAreaMm2;
+}
+
+double
+SatoAccelerator::paddedOps(const BitMatrix& spikes, std::size_t batch_rows,
+                           std::size_t n)
+{
+    // SATO's bucket sort groups rows of similar spike count before
+    // dispatch, so each PE batch is load-balanced up to the residual
+    // spread inside a bucket: sort popcounts, then pad each batch of
+    // consecutive (sorted) rows to its maximum.
+    const std::size_t m = spikes.rows();
+    std::vector<std::size_t> pops(m);
+    for (std::size_t r = 0; r < m; ++r)
+        pops[r] = spikes.row(r).popcount();
+    std::sort(pops.begin(), pops.end(), std::greater<>());
+
+    double padded = 0.0;
+    for (std::size_t r0 = 0; r0 < m; r0 += batch_rows) {
+        const std::size_t end = std::min(m, r0 + batch_rows);
+        // Sorted descending: the batch maximum is its first element.
+        padded += static_cast<double>(pops[r0]) *
+                  static_cast<double>(end - r0);
+    }
+    return padded * static_cast<double>(n);
+}
+
+double
+SatoAccelerator::runSpikingGemm(const GemmShape& shape,
+                                const BitMatrix& spikes,
+                                EnergyModel& energy)
+{
+    // Real adds performed follow the bit count; cycles follow the
+    // imbalance-padded count.
+    const double bit_ops = static_cast<double>(spikes.popcount()) *
+                           static_cast<double>(shape.n);
+    const double padded =
+        paddedOps(spikes, calibration::kSatoBatchRows, shape.n);
+
+    energy.charge("processor", energy.params().pe_add8_pj, bit_ops);
+    energy.charge("buffer", 0.55, bit_ops);
+    const double dram_bytes =
+        chargeDramTraffic(shape, 128, 32 * 1024, energy);
+
+    const double compute_cycles =
+        padded / (static_cast<double>(numPes()) *
+                  calibration::kSatoUtilization);
+    const double dram_cycles = DramConfig{}.cyclesFor(dram_bytes, tech());
+    return std::max(compute_cycles, dram_cycles);
+}
+
+double
+SatoAccelerator::staticPjPerCycle() const
+{
+    return calibration::kSatoStaticPjPerCycle;
+}
+
+} // namespace prosperity

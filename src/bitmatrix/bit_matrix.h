@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Packed binary spike matrix and tiling.
+ *
+ * A BitMatrix is the unrolled spike activation of one SNN layer: the T
+ * per-time-step spike matrices are concatenated along the row dimension
+ * (Sec. II-A of the paper), giving a single (T*L) x K binary matrix that
+ * multiplies a shared K x N weight matrix. Tiling (Sec. V-A) slices this
+ * into m x k sub-matrices for the PPU.
+ */
+
+#ifndef PROSPERITY_BITMATRIX_BIT_MATRIX_H
+#define PROSPERITY_BITMATRIX_BIT_MATRIX_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitmatrix/bit_vector.h"
+#include "sim/rng.h"
+
+namespace prosperity {
+
+/** A dense row-major matrix of bits; rows are BitVectors. */
+class BitMatrix
+{
+  public:
+    BitMatrix() = default;
+
+    /** Construct an all-zero matrix of `rows` x `cols` bits. */
+    BitMatrix(std::size_t rows, std::size_t cols);
+
+    /**
+     * Construct from row strings, e.g. {"1010", "1001"}; all rows must
+     * have equal length. Mirrors the figures in the paper.
+     */
+    static BitMatrix fromStrings(const std::vector<std::string>& rows);
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t cols() const { return cols_; }
+
+    /** Mutable row access. */
+    BitVector& row(std::size_t r);
+    const BitVector& row(std::size_t r) const;
+
+    bool test(std::size_t r, std::size_t c) const { return row(r).test(c); }
+    void set(std::size_t r, std::size_t c, bool v = true)
+    {
+        row(r).set(c, v);
+    }
+
+    /** Total number of set bits. */
+    std::size_t popcount() const;
+
+    /** Fraction of bits set (the paper's bit density). */
+    double density() const;
+
+    /**
+     * Extract the tile starting at (row0, col0) with at most
+     * `tile_rows` x `tile_cols` bits; edge tiles are cropped, not padded,
+     * so tile ops never see phantom bits.
+     */
+    BitMatrix tile(std::size_t row0, std::size_t col0,
+                   std::size_t tile_rows, std::size_t tile_cols) const;
+
+    /** Append the rows of `other` (same column count) below this matrix. */
+    void appendRows(const BitMatrix& other);
+
+    /** Transposed copy (cols x rows). */
+    BitMatrix transpose() const;
+
+    /** Fill with Bernoulli(p) bits. */
+    void randomize(Rng& rng, double density);
+
+    bool operator==(const BitMatrix& other) const = default;
+
+  private:
+    std::size_t cols_ = 0;
+    std::vector<BitVector> rows_;
+};
+
+/** Geometry of one spiking GeMM: (M x K) spikes times (K x N) weights. */
+struct GemmShape
+{
+    std::size_t m = 0; ///< spike rows (time steps x spatial positions)
+    std::size_t k = 0; ///< reduction dimension (input channels)
+    std::size_t n = 0; ///< output columns (output channels)
+
+    /**
+     * How many GeMM input bits map to one stored activation bit. For
+     * im2col-lowered convolutions this is kernel^2: the accelerator
+     * fetches the feature map once from DRAM and materializes the
+     * im2col duplication on chip, so off-chip spike traffic is the
+     * GeMM operand size divided by this factor.
+     */
+    std::size_t input_reuse = 1;
+
+    /** Dense multiply-accumulate count M*K*N. */
+    double denseOps() const
+    {
+        return static_cast<double>(m) * static_cast<double>(k) *
+               static_cast<double>(n);
+    }
+
+    bool operator==(const GemmShape&) const = default;
+};
+
+/** Tile dimensions used by the PPU (paper default 256 x 128 x 16). */
+struct TileConfig
+{
+    std::size_t m = 256; ///< spike rows per tile
+    std::size_t n = 128; ///< output columns per tile (PE lanes)
+    std::size_t k = 16;  ///< spike columns per tile (TCAM entry width)
+
+    bool operator==(const TileConfig&) const = default;
+};
+
+/**
+ * Iterate all (row0, col0) tile origins of an M x K spike matrix for a
+ * given tile config, row-major over K then M, and invoke `fn(tile)` on
+ * the cropped tile. Convenience used by the sparsity analyses.
+ */
+template <typename Fn>
+void
+forEachTile(const BitMatrix& matrix, const TileConfig& tile, Fn&& fn)
+{
+    for (std::size_t r = 0; r < matrix.rows(); r += tile.m) {
+        for (std::size_t c = 0; c < matrix.cols(); c += tile.k) {
+            fn(matrix.tile(r, c, tile.m, tile.k));
+        }
+    }
+}
+
+} // namespace prosperity
+
+#endif // PROSPERITY_BITMATRIX_BIT_MATRIX_H

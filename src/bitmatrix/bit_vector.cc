@@ -1,0 +1,254 @@
+#include "bit_vector.h"
+
+#include <bit>
+
+#include "sim/logging.h"
+
+namespace prosperity {
+
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+std::size_t
+wordsFor(std::size_t bits)
+{
+    return (bits + kWordBits - 1) / kWordBits;
+}
+
+} // namespace
+
+BitVector::BitVector(std::size_t bits)
+    : bits_(bits), words_(wordsFor(bits), 0)
+{
+}
+
+BitVector
+BitVector::fromString(const std::string& pattern)
+{
+    BitVector v(pattern.size());
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+        const char c = pattern[i];
+        PROSPERITY_ASSERT(c == '0' || c == '1',
+                          "bit pattern must contain only 0/1");
+        if (c == '1')
+            v.set(i);
+    }
+    return v;
+}
+
+bool
+BitVector::any() const
+{
+    for (auto w : words_)
+        if (w)
+            return true;
+    return false;
+}
+
+bool
+BitVector::test(std::size_t pos) const
+{
+    PROSPERITY_ASSERT(pos < bits_, "bit index out of range");
+    return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1ULL;
+}
+
+void
+BitVector::set(std::size_t pos, bool value)
+{
+    PROSPERITY_ASSERT(pos < bits_, "bit index out of range");
+    const std::uint64_t mask = 1ULL << (pos % kWordBits);
+    if (value)
+        words_[pos / kWordBits] |= mask;
+    else
+        words_[pos / kWordBits] &= ~mask;
+}
+
+void
+BitVector::clear()
+{
+    for (auto& w : words_)
+        w = 0;
+}
+
+std::size_t
+BitVector::popcount() const
+{
+    std::size_t count = 0;
+    for (auto w : words_)
+        count += static_cast<std::size_t>(std::popcount(w));
+    return count;
+}
+
+bool
+BitVector::isSubsetOf(const BitVector& other) const
+{
+    PROSPERITY_ASSERT(bits_ == other.bits_, "width mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        if (words_[i] & ~other.words_[i])
+            return false;
+    return true;
+}
+
+std::size_t
+BitVector::findFirst() const
+{
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        if (words_[i])
+            return i * kWordBits +
+                   static_cast<std::size_t>(std::countr_zero(words_[i]));
+    return bits_;
+}
+
+std::size_t
+BitVector::findNext(std::size_t pos) const
+{
+    ++pos;
+    if (pos >= bits_)
+        return bits_;
+    std::size_t word = pos / kWordBits;
+    std::uint64_t masked = words_[word] & (~0ULL << (pos % kWordBits));
+    for (;;) {
+        if (masked)
+            return word * kWordBits +
+                   static_cast<std::size_t>(std::countr_zero(masked));
+        if (++word >= words_.size())
+            return bits_;
+        masked = words_[word];
+    }
+}
+
+std::vector<std::size_t>
+BitVector::setBits() const
+{
+    std::vector<std::size_t> out;
+    out.reserve(popcount());
+    for (std::size_t pos = findFirst(); pos < bits_; pos = findNext(pos))
+        out.push_back(pos);
+    return out;
+}
+
+std::size_t
+BitVector::andPopcount(const BitVector& other) const
+{
+    PROSPERITY_ASSERT(bits_ == other.bits_, "width mismatch");
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        count += static_cast<std::size_t>(
+            std::popcount(words_[i] & other.words_[i]));
+    return count;
+}
+
+BitVector
+BitVector::operator&(const BitVector& other) const
+{
+    BitVector out(*this);
+    out &= other;
+    return out;
+}
+
+BitVector
+BitVector::operator|(const BitVector& other) const
+{
+    BitVector out(*this);
+    out |= other;
+    return out;
+}
+
+BitVector
+BitVector::operator^(const BitVector& other) const
+{
+    BitVector out(*this);
+    out ^= other;
+    return out;
+}
+
+BitVector
+BitVector::andNot(const BitVector& other) const
+{
+    PROSPERITY_ASSERT(bits_ == other.bits_, "width mismatch");
+    BitVector out(bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        out.words_[i] = words_[i] & ~other.words_[i];
+    return out;
+}
+
+BitVector&
+BitVector::operator&=(const BitVector& other)
+{
+    PROSPERITY_ASSERT(bits_ == other.bits_, "width mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= other.words_[i];
+    return *this;
+}
+
+BitVector&
+BitVector::operator|=(const BitVector& other)
+{
+    PROSPERITY_ASSERT(bits_ == other.bits_, "width mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= other.words_[i];
+    return *this;
+}
+
+BitVector&
+BitVector::operator^=(const BitVector& other)
+{
+    PROSPERITY_ASSERT(bits_ == other.bits_, "width mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= other.words_[i];
+    return *this;
+}
+
+bool
+BitVector::operator==(const BitVector& other) const
+{
+    return bits_ == other.bits_ && words_ == other.words_;
+}
+
+void
+BitVector::randomize(Rng& rng, double density)
+{
+    for (std::size_t pos = 0; pos < bits_; ++pos)
+        set(pos, rng.nextBool(density));
+}
+
+std::string
+BitVector::toString() const
+{
+    std::string out(bits_, '0');
+    for (std::size_t pos = 0; pos < bits_; ++pos)
+        if (test(pos))
+            out[pos] = '1';
+    return out;
+}
+
+std::uint64_t
+BitVector::hash() const
+{
+    // FNV-1a over the words; the zero-padded tail keeps this canonical.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (auto w : words_) {
+        h ^= w;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+BitVector::setWord(std::size_t index, std::uint64_t value)
+{
+    PROSPERITY_ASSERT(index < words_.size(), "word index out of range");
+    words_[index] = value;
+    maskTail();
+}
+
+void
+BitVector::maskTail()
+{
+    const std::size_t tail = bits_ % kWordBits;
+    if (tail != 0 && !words_.empty())
+        words_.back() &= (1ULL << tail) - 1;
+}
+
+} // namespace prosperity

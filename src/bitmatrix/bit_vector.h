@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Packed binary spike vector.
+ *
+ * A BitVector models one row of a spike matrix: a fixed number of bits
+ * packed into 64-bit words. The operations mirror exactly what the
+ * Prosperity hardware performs on spike rows: popcount (the Detector's
+ * number-of-ones), subset test (the TCAM match), XOR (the Pruner's
+ * sparsify step), and bit-scan-forward (the Processor's address decode).
+ */
+
+#ifndef PROSPERITY_BITMATRIX_BIT_VECTOR_H
+#define PROSPERITY_BITMATRIX_BIT_VECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace prosperity {
+
+/** A fixed-width vector of bits packed into 64-bit words. */
+class BitVector
+{
+  public:
+    /** Construct an all-zero vector of `bits` bits. */
+    explicit BitVector(std::size_t bits = 0);
+
+    /**
+     * Construct from a string of '0'/'1' characters, most significant
+     * position first matching the paper's figures, e.g. "1001" sets
+     * bit 0 and bit 3.
+     */
+    static BitVector fromString(const std::string& pattern);
+
+    /** Number of bits. */
+    std::size_t size() const { return bits_; }
+
+    /** Whether any bit is set. */
+    bool any() const;
+
+    /** Whether no bit is set. */
+    bool none() const { return !any(); }
+
+    /** Read bit `pos`. */
+    bool test(std::size_t pos) const;
+
+    /** Set bit `pos` to `value`. */
+    void set(std::size_t pos, bool value = true);
+
+    /** Clear every bit. */
+    void clear();
+
+    /** Number of set bits (the hardware popcount). */
+    std::size_t popcount() const;
+
+    /**
+     * TCAM-style subset test: true when every set bit of this vector is
+     * also set in `other` (this row's spike set is a subset of other's).
+     * Implemented as (this & ~other) == 0.
+     */
+    bool isSubsetOf(const BitVector& other) const;
+
+    /** Index of the lowest set bit, or size() when empty. */
+    std::size_t findFirst() const;
+
+    /** Index of the lowest set bit strictly above `pos`, or size(). */
+    std::size_t findNext(std::size_t pos) const;
+
+    /** Indices of all set bits in ascending order (the spike set S_i). */
+    std::vector<std::size_t> setBits() const;
+
+    /** Popcount of (this & other) without materializing the AND. */
+    std::size_t andPopcount(const BitVector& other) const;
+
+    BitVector operator&(const BitVector& other) const;
+    BitVector operator|(const BitVector& other) const;
+    BitVector operator^(const BitVector& other) const;
+    /** this & ~other — the residual ProSparsity pattern. */
+    BitVector andNot(const BitVector& other) const;
+
+    BitVector& operator&=(const BitVector& other);
+    BitVector& operator|=(const BitVector& other);
+    BitVector& operator^=(const BitVector& other);
+
+    bool operator==(const BitVector& other) const;
+    bool operator!=(const BitVector& other) const = default;
+
+    /** Fill with Bernoulli(p) bits from `rng`. */
+    void randomize(Rng& rng, double density);
+
+    /** "1001"-style rendering used by tests and trace dumps. */
+    std::string toString() const;
+
+    /** 64-bit hash of contents (for exact-match grouping). */
+    std::uint64_t hash() const;
+
+    /** Backing words, low bits first; the final word is zero-padded. */
+    const std::vector<std::uint64_t>& words() const { return words_; }
+
+    /** Direct word write for bulk generators; tail bits are re-masked. */
+    void setWord(std::size_t index, std::uint64_t value);
+
+  private:
+    void maskTail();
+
+    std::size_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace prosperity
+
+#endif // PROSPERITY_BITMATRIX_BIT_VECTOR_H

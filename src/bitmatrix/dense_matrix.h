@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Dense row-major numeric matrix.
+ *
+ * Used for weight matrices (8-bit quantized values stored widened) and
+ * accumulated output currents in the functional spiking-GeMM path. Kept
+ * deliberately small: the simulator needs correctness-checking math, not
+ * a BLAS.
+ */
+
+#ifndef PROSPERITY_BITMATRIX_DENSE_MATRIX_H
+#define PROSPERITY_BITMATRIX_DENSE_MATRIX_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/rng.h"
+
+namespace prosperity {
+
+/** Row-major dense matrix of an arithmetic element type. */
+template <typename T>
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+
+    DenseMatrix(std::size_t rows, std::size_t cols, T fill = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    T&
+    at(std::size_t r, std::size_t c)
+    {
+        PROSPERITY_ASSERT(r < rows_ && c < cols_, "index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    const T&
+    at(std::size_t r, std::size_t c) const
+    {
+        PROSPERITY_ASSERT(r < rows_ && c < cols_, "index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /** Pointer to the start of row `r` (contiguous cols_ elements). */
+    T* rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+    const T* rowPtr(std::size_t r) const { return data_.data() + r * cols_; }
+
+    /** Fill with uniform random integers in [lo, hi]. */
+    void
+    randomizeInt(Rng& rng, std::int64_t lo, std::int64_t hi)
+    {
+        for (auto& v : data_) {
+            const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+            v = static_cast<T>(lo +
+                               static_cast<std::int64_t>(rng.nextBelow(span)));
+        }
+    }
+
+    bool operator==(const DenseMatrix&) const = default;
+
+    const std::vector<T>& data() const { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+/** Weight matrices are 8-bit values widened to 32-bit for accumulation. */
+using WeightMatrix = DenseMatrix<std::int32_t>;
+/** Output currents accumulate exactly in 32-bit integers. */
+using OutputMatrix = DenseMatrix<std::int32_t>;
+
+} // namespace prosperity
+
+#endif // PROSPERITY_BITMATRIX_DENSE_MATRIX_H

@@ -1,0 +1,38 @@
+#include "detector.h"
+
+#include "sim/logging.h"
+
+namespace prosperity {
+
+DetectionResult
+Detector::detect(const BitMatrix& tile) const
+{
+    const std::size_t m = tile.rows();
+    DetectionResult result;
+    result.subset_mask.assign(m, BitVector(m));
+    result.popcounts.resize(m);
+
+    for (std::size_t i = 0; i < m; ++i)
+        result.popcounts[i] = tile.row(i).popcount();
+
+    // TCAM search: for query row i, entry j matches iff S_j is a subset
+    // of S_i. Empty rows are excluded here — an all-zero entry matches
+    // every query but carries no reusable result, and the hardware's
+    // valid bit masks it out of the match line.
+    for (std::size_t i = 0; i < m; ++i) {
+        const BitVector& query = tile.row(i);
+        if (result.popcounts[i] == 0)
+            continue;
+        for (std::size_t j = 0; j < m; ++j) {
+            if (j == i || result.popcounts[j] == 0)
+                continue;
+            if (result.popcounts[j] <= result.popcounts[i] &&
+                tile.row(j).isSubsetOf(query)) {
+                result.subset_mask[i].set(j);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace prosperity

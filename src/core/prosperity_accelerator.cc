@@ -1,0 +1,41 @@
+#include "prosperity_accelerator.h"
+
+namespace prosperity {
+
+ProsperityAccelerator::ProsperityAccelerator(ProsperityConfig config)
+    : ProsperityAccelerator(config, Ppu::Options{})
+{
+}
+
+ProsperityAccelerator::ProsperityAccelerator(ProsperityConfig config,
+                                             Ppu::Options options)
+    : config_(config), ppu_(config, options)
+{
+}
+
+std::string
+ProsperityAccelerator::name() const
+{
+    if (ppu_.options().sparsity == SparsityMode::kBitSparsity)
+        return "Prosperity(bit-only)";
+    if (ppu_.options().dispatch == DispatchMode::kTreeTraversal)
+        return "Prosperity(traversal)";
+    return "Prosperity";
+}
+
+double
+ProsperityAccelerator::areaMm2() const
+{
+    return AreaModel(config_).area().total();
+}
+
+double
+ProsperityAccelerator::runSpikingGemm(const GemmShape& shape,
+                                      const BitMatrix& spikes,
+                                      EnergyModel& energy)
+{
+    last_ = ppu_.runGemm(shape, spikes, &energy);
+    return last_.cycles;
+}
+
+} // namespace prosperity

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Prosperity — the full accelerator model behind the paper's headline
+ * numbers. Wraps the PPU layer model in the common Accelerator
+ * interface, wires in the area model, and exposes the ablation knobs
+ * (sparsity mode, dispatch mode) used by Fig. 9.
+ */
+
+#ifndef PROSPERITY_CORE_PROSPERITY_ACCELERATOR_H
+#define PROSPERITY_CORE_PROSPERITY_ACCELERATOR_H
+
+#include <string>
+
+#include "arch/accelerator.h"
+#include "arch/area_model.h"
+#include "core/ppu.h"
+
+namespace prosperity {
+
+/** The Prosperity accelerator (Table III configuration by default). */
+class ProsperityAccelerator : public Accelerator
+{
+  public:
+    explicit ProsperityAccelerator(ProsperityConfig config = {});
+    ProsperityAccelerator(ProsperityConfig config, Ppu::Options options);
+
+    std::string name() const override;
+    std::size_t numPes() const override { return config_.num_pes; }
+    double areaMm2() const override;
+    Tech tech() const override { return config_.tech; }
+
+    double runSpikingGemm(const GemmShape& shape, const BitMatrix& spikes,
+                          EnergyModel& energy) override;
+
+    /** Last layer's detailed result (inspection/testing). */
+    const PpuLayerResult& lastResult() const { return last_; }
+
+    const ProsperityConfig& config() const { return config_; }
+    const Ppu::Options& options() const { return ppu_.options(); }
+
+  private:
+    ProsperityConfig config_;
+    Ppu ppu_;
+    PpuLayerResult last_;
+};
+
+} // namespace prosperity
+
+#endif // PROSPERITY_CORE_PROSPERITY_ACCELERATOR_H

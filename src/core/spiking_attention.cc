@@ -1,0 +1,120 @@
+#include "spiking_attention.h"
+
+#include "sim/logging.h"
+
+namespace prosperity {
+
+namespace {
+
+/** Extract time step `t`'s L-row block of a t-major (T*L) x w matrix. */
+BitMatrix
+timeStepBlock(const BitMatrix& m, std::size_t t, std::size_t rows_per_step)
+{
+    return m.tile(t * rows_per_step, 0, rows_per_step, m.cols());
+}
+
+/** Binary matrix transposed into an integer weight matrix. */
+WeightMatrix
+transposeToWeights(const BitMatrix& m)
+{
+    const BitMatrix t = m.transpose();
+    WeightMatrix out(t.rows(), t.cols(), 0);
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        const BitVector& row = t.row(r);
+        for (std::size_t c = row.findFirst(); c < t.cols();
+             c = row.findNext(c))
+            out.at(r, c) = 1;
+    }
+    return out;
+}
+
+} // namespace
+
+SpikingSelfAttention::Result
+SpikingSelfAttention::evaluate(const BitMatrix& q, const BitMatrix& k,
+                               const BitMatrix& v,
+                               std::size_t time_steps) const
+{
+    PROSPERITY_ASSERT(time_steps > 0, "attention needs >= 1 time step");
+    PROSPERITY_ASSERT(q.rows() == k.rows() && q.rows() == v.rows(),
+                      "Q/K/V row counts disagree");
+    PROSPERITY_ASSERT(q.cols() == k.cols(),
+                      "Q/K head dimensions disagree");
+    PROSPERITY_ASSERT(q.rows() % time_steps == 0,
+                      "rows must be divisible by time steps");
+    const std::size_t L = q.rows() / time_steps;
+    const std::size_t d = v.cols();
+
+    Result result;
+    result.scores = OutputMatrix(q.rows(), L, 0);
+    result.output = OutputMatrix(q.rows(), d, 0);
+
+    for (std::size_t t = 0; t < time_steps; ++t) {
+        const BitMatrix q_t = timeStepBlock(q, t, L);
+        const BitMatrix k_t = timeStepBlock(k, t, L);
+        const BitMatrix v_t = timeStepBlock(v, t, L);
+
+        // S_t = Q_t K_t^T through the ProSparsity pipeline.
+        const WeightMatrix k_weights = transposeToWeights(k_t);
+        const ProductGemm::Result qk = gemm_.multiply(q_t, k_weights);
+        result.qk_dense_ops += qk.dense_ops;
+        result.qk_product_ops += qk.product_ops;
+        for (std::size_t r = 0; r < L; ++r)
+            for (std::size_t c = 0; c < L; ++c)
+                result.scores.at(t * L + r, c) = qk.output.at(r, c);
+
+        // O_t = S_t V_t: integer scores against binary V — each set bit
+        // V_t[l, j] accumulates score column l into output column j.
+        result.sv_dense_ops += static_cast<double>(L) *
+                               static_cast<double>(L) *
+                               static_cast<double>(d);
+        for (std::size_t l = 0; l < L; ++l) {
+            const BitVector& v_row = v_t.row(l);
+            for (std::size_t j = v_row.findFirst(); j < d;
+                 j = v_row.findNext(j)) {
+                for (std::size_t r = 0; r < L; ++r)
+                    result.output.at(t * L + r, j) +=
+                        result.scores.at(t * L + r, l);
+                result.sv_bit_ops += static_cast<double>(L);
+            }
+        }
+    }
+    return result;
+}
+
+SpikingSelfAttention::Result
+SpikingSelfAttention::reference(const BitMatrix& q, const BitMatrix& k,
+                                const BitMatrix& v,
+                                std::size_t time_steps)
+{
+    PROSPERITY_ASSERT(q.rows() % time_steps == 0,
+                      "rows must be divisible by time steps");
+    const std::size_t L = q.rows() / time_steps;
+    const std::size_t d = v.cols();
+
+    Result result;
+    result.scores = OutputMatrix(q.rows(), L, 0);
+    result.output = OutputMatrix(q.rows(), d, 0);
+
+    for (std::size_t t = 0; t < time_steps; ++t) {
+        for (std::size_t r = 0; r < L; ++r) {
+            for (std::size_t c = 0; c < L; ++c) {
+                const std::size_t qr = t * L + r;
+                const std::size_t kr = t * L + c;
+                result.scores.at(qr, c) = static_cast<std::int32_t>(
+                    q.row(qr).andPopcount(k.row(kr)));
+            }
+        }
+        for (std::size_t r = 0; r < L; ++r)
+            for (std::size_t j = 0; j < d; ++j) {
+                std::int32_t acc = 0;
+                for (std::size_t l = 0; l < L; ++l)
+                    if (v.test(t * L + l, j))
+                        acc += result.scores.at(t * L + r, l);
+                result.output.at(t * L + r, j) = acc;
+            }
+    }
+    return result;
+}
+
+} // namespace prosperity

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Functional spiking self-attention (Sec. IV, "Support for
+ * Transformers").
+ *
+ * Spikformer-style spiking self attention (SSA) is softmax-free: with
+ * binary Q, K, V spike matrices, the block computes S = Q K^T followed
+ * by O = S V, both of which the PPU executes as spiking-GeMM-like
+ * operations. Q K^T runs through the full ProSparsity pipeline (Q is a
+ * binary left operand); S V exploits bit sparsity in V (each set bit
+ * of V column-selects a score column to accumulate).
+ *
+ * This module provides the bit-exact functional path used by tests and
+ * examples; the timing/energy of attention layers flows through the
+ * same Ppu model as every other spiking GeMM.
+ */
+
+#ifndef PROSPERITY_CORE_SPIKING_ATTENTION_H
+#define PROSPERITY_CORE_SPIKING_ATTENTION_H
+
+#include "bitmatrix/bit_matrix.h"
+#include "bitmatrix/dense_matrix.h"
+#include "core/product_gemm.h"
+
+namespace prosperity {
+
+/** Softmax-free spiking self attention, evaluated per time step. */
+class SpikingSelfAttention
+{
+  public:
+    explicit SpikingSelfAttention(TileConfig tile = {}) : gemm_(tile) {}
+
+    /** Result of one attention evaluation. */
+    struct Result
+    {
+        /** Integer score matrices, one (L x L) block per time step,
+         *  stacked into (T*L) x L. */
+        OutputMatrix scores;
+        /** Output currents, (T*L) x d. */
+        OutputMatrix output;
+
+        double qk_dense_ops = 0.0;
+        double qk_product_ops = 0.0;
+        double sv_dense_ops = 0.0;
+        double sv_bit_ops = 0.0; ///< adds surviving V's bit sparsity
+    };
+
+    /**
+     * Evaluate SSA on t-major (T*L) x d binary Q, K, V.
+     *
+     * @param time_steps T; all three operands must have T*L rows.
+     */
+    Result evaluate(const BitMatrix& q, const BitMatrix& k,
+                    const BitMatrix& v, std::size_t time_steps) const;
+
+    /** Dense reference for the full block (for tests). */
+    static Result reference(const BitMatrix& q, const BitMatrix& k,
+                            const BitMatrix& v, std::size_t time_steps);
+
+  private:
+    ProductGemm gemm_;
+};
+
+} // namespace prosperity
+
+#endif // PROSPERITY_CORE_SPIKING_ATTENTION_H

@@ -1,0 +1,97 @@
+#include "tile_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/detector.h"
+#include "sim/logging.h"
+
+namespace prosperity {
+
+TilePipeline::FrontEnd
+TilePipeline::processFull(const BitMatrix& tile) const
+{
+    Detector detector;
+    Pruner pruner;
+    FrontEnd fe;
+    const DetectionResult detection = detector.detect(tile);
+    fe.table = pruner.prune(tile, detection);
+    fe.dispatch = dispatcher_.dispatch(fe.table);
+    return fe;
+}
+
+TileStats
+TilePipeline::process(const BitMatrix& tile) const
+{
+    TileStats stats;
+    stats.rows = tile.rows();
+    stats.cols = tile.cols();
+    if (stats.rows == 0 || stats.cols == 0)
+        return stats;
+
+    const std::size_t fill = 4; // issue/decode/execute/writeback stages
+
+    if (sparsity_ == SparsityMode::kBitSparsity) {
+        // No detection: rows issue in natural order, every set bit is
+        // one accumulation cycle, and all-zero rows are squeezed out by
+        // the issue logic's valid bits.
+        std::size_t work = 0;
+        for (std::size_t r = 0; r < stats.rows; ++r) {
+            const std::size_t pops = tile.row(r).popcount();
+            stats.bit_row_ops += static_cast<double>(pops);
+            work += pops;
+        }
+        stats.accum_row_ops = stats.bit_row_ops;
+        stats.compute_cycles =
+            fill + static_cast<std::size_t>(
+                       std::ceil(static_cast<double>(work) /
+                                 kIssueEfficiency));
+        return stats;
+    }
+
+    const FrontEnd fe = processFull(tile);
+
+    stats.prosparsity_cycles =
+        Detector::phaseCycles(stats.rows) + fe.dispatch.exposed_cycles;
+    stats.tcam_bit_ops = Detector::tcamBitOps(stats.rows, stats.cols);
+    stats.popcount_ops = static_cast<double>(stats.rows);
+    stats.pruner_ops = static_cast<double>(stats.rows);
+    stats.sorter_compares = fe.dispatch.sorter_compares;
+    stats.table_accesses = fe.dispatch.table_accesses;
+
+    double adds = 0.0;
+    for (std::size_t r = 0; r < stats.rows; ++r) {
+        const PrefixEntry& entry = fe.table[r];
+        stats.bit_row_ops += static_cast<double>(entry.popcount);
+        const std::size_t pattern_pops = entry.pattern.popcount();
+        stats.accum_row_ops += static_cast<double>(pattern_pops);
+        // An exact match has an all-zero pattern but still occupies one
+        // issue cycle to copy the prefix result (Sec. VII-F); all-zero
+        // rows are squeezed out entirely. Copies go through the banked
+        // psum path, so `issue_width` of them retire per cycle
+        // (intra-PPU parallelism, Sec. VIII-A).
+        if (entry.popcount > 0) {
+            if (pattern_pops == 0)
+                stats.floor_rows += 1.0;
+            else
+                adds += static_cast<double>(pattern_pops);
+        }
+        if (entry.hasPrefix()) {
+            ++stats.prefix_hits;
+            ++stats.prefix_loads;
+            if (entry.kind == PrefixKind::kExactMatch)
+                ++stats.exact_matches;
+            else
+                ++stats.partial_matches;
+        }
+    }
+    const double work =
+        adds + std::ceil(stats.floor_rows /
+                         static_cast<double>(issue_width_));
+    stats.compute_cycles =
+        fill +
+        static_cast<std::size_t>(std::ceil(work / kIssueEfficiency));
+    return stats;
+}
+
+} // namespace prosperity

@@ -1,0 +1,133 @@
+#include "spike_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace prosperity {
+
+SpikeGenerator::SpikeGenerator(ActivationProfile profile, std::uint64_t seed)
+    : profile_(profile), seed_(seed)
+{
+    PROSPERITY_ASSERT(profile_.bit_density > 0.0 &&
+                          profile_.bit_density < 1.0,
+                      "bit density must lie in (0, 1)");
+    PROSPERITY_ASSERT(profile_.cluster_fraction >= 0.0 &&
+                          profile_.cluster_fraction <= 1.0,
+                      "cluster fraction must lie in [0, 1]");
+}
+
+double
+SpikeGenerator::layerDensity(std::size_t layer_index) const
+{
+    // Deterministic +/-15% per-layer jitter around the workload target,
+    // mimicking the layer-to-layer density variation of real SNNs.
+    Rng rng(seed_ ^ (0xa5a5a5a5ULL + layer_index * 0x9e3779b9ULL));
+    const double jitter = 0.85 + 0.30 * rng.nextDouble();
+    return std::clamp(profile_.bit_density * jitter, 0.005, 0.95);
+}
+
+BitMatrix
+SpikeGenerator::generate(std::size_t rows, std::size_t cols,
+                         std::size_t time_steps,
+                         std::size_t layer_index) const
+{
+    BitMatrix out(rows, cols);
+    if (rows == 0 || cols == 0)
+        return out;
+
+    Rng rng = Rng(seed_).split(layer_index + 1);
+    const double density = layerDensity(layer_index);
+
+    // Base patterns are denser than the target so that subset-dropped
+    // clustered rows land back on it: d_base * (1 - q) = density.
+    const double drop = profile_.subset_drop_prob;
+    const double base_density = std::min(0.95, density / (1.0 - drop));
+
+    // Each bank entry is an *ordered* spike set: clustered rows take a
+    // Binomial-length prefix of the order, so any two rows drawn from
+    // the same bank are nested (one is a subset of the other) — and
+    // prefixes of a set sequence stay nested inside every k-column
+    // window, which is exactly the structure ProSparsity harvests
+    // tile by tile. Real SNN activations exhibit this because strongly
+    // driven neurons fire across many rows while weakly driven ones
+    // drop out row by row.
+    const std::size_t bank_size =
+        std::max<std::size_t>(1, profile_.bank_size);
+    std::vector<std::vector<std::size_t>> bank_order(bank_size);
+    for (auto& order : bank_order) {
+        BitVector base(cols);
+        base.randomize(rng, base_density);
+        order = base.setBits();
+        // Fisher-Yates shuffle so chain prefixes are spatially spread.
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.nextBelow(i)]);
+    }
+
+    const std::size_t positions =
+        time_steps > 0 && rows % time_steps == 0 ? rows / time_steps : rows;
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t t = r / positions;
+        // Exact-match structure across time steps: re-emit the previous
+        // step's row for the same spatial position.
+        if (t > 0 && rng.nextBool(profile_.temporal_repeat)) {
+            out.row(r) = out.row(r - positions);
+            continue;
+        }
+        if (rng.nextBool(profile_.cluster_fraction)) {
+            BitVector& row = out.row(r);
+            // Union rows span two banks (both halves shortened so the
+            // density target holds); single-bank rows take one prefix.
+            const bool is_union = rng.nextBool(profile_.union_prob);
+            const int parts = is_union ? 2 : 1;
+            for (int part = 0; part < parts; ++part) {
+                const auto& order = bank_order[rng.nextBelow(bank_size)];
+                // Keep-length ~ Binomial(|order|, (1 - drop) / parts).
+                const double keep_prob = (1.0 - drop) / parts;
+                std::size_t keep = 0;
+                for (std::size_t i = 0; i < order.size(); ++i)
+                    keep += rng.nextBool(keep_prob) ? 1 : 0;
+                for (std::size_t i = 0; i < keep; ++i)
+                    row.set(order[i]);
+            }
+            // Stray spikes: rare uncorrelated firings that perturb the
+            // cluster structure (and limit how wide a TCAM window can
+            // profitably be — Fig. 7).
+            if (profile_.noise_insert_prob > 0.0) {
+                const double expected =
+                    profile_.noise_insert_prob *
+                    static_cast<double>(cols);
+                std::size_t strays = static_cast<std::size_t>(expected);
+                if (rng.nextBool(expected - std::floor(expected)))
+                    ++strays;
+                for (std::size_t i = 0; i < strays; ++i)
+                    row.set(rng.nextBelow(cols));
+            }
+        } else {
+            out.row(r).randomize(rng, density);
+        }
+    }
+    return out;
+}
+
+BitMatrix
+SpikeGenerator::generateLayer(const LayerSpec& layer,
+                              std::size_t layer_index) const
+{
+    return generate(layer.gemm.m, layer.gemm.k, layer.time_steps,
+                    layer_index);
+}
+
+WeightMatrix
+randomWeights(std::size_t k, std::size_t n, std::uint64_t seed)
+{
+    WeightMatrix w(k, n);
+    Rng rng(seed);
+    w.randomizeInt(rng, -127, 127);
+    return w;
+}
+
+} // namespace prosperity

@@ -1,0 +1,150 @@
+#include "trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "sim/logging.h"
+
+namespace prosperity {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'S', 'P', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream& os, T value)
+{
+    os.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool
+readPod(std::istream& is, T& value)
+{
+    is.read(reinterpret_cast<char*>(&value), sizeof(value));
+    return static_cast<bool>(is);
+}
+
+void
+writeString(std::ostream& os, const std::string& s)
+{
+    writePod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool
+readString(std::istream& is, std::string& s)
+{
+    std::uint32_t size = 0;
+    if (!readPod(is, size) || size > (1u << 20))
+        return false;
+    s.resize(size);
+    is.read(s.data(), size);
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+void
+TraceFile::add(SpikeTrace trace)
+{
+    traces_.push_back(std::move(trace));
+}
+
+const SpikeTrace&
+TraceFile::at(std::size_t i) const
+{
+    PROSPERITY_ASSERT(i < traces_.size(), "trace index out of range");
+    return traces_[i];
+}
+
+std::size_t
+TraceFile::write(std::ostream& os) const
+{
+    const std::streampos start = os.tellp();
+    os.write(kMagic, sizeof(kMagic));
+    writePod<std::uint32_t>(os, kVersion);
+    writePod<std::uint32_t>(os, static_cast<std::uint32_t>(traces_.size()));
+    for (const auto& trace : traces_) {
+        writeString(os, trace.layer_name);
+        writePod<std::uint64_t>(os, trace.spikes.rows());
+        writePod<std::uint64_t>(os, trace.spikes.cols());
+        writePod<std::uint64_t>(os, trace.time_steps);
+        for (std::size_t r = 0; r < trace.spikes.rows(); ++r)
+            for (auto word : trace.spikes.row(r).words())
+                writePod<std::uint64_t>(os, word);
+    }
+    return static_cast<std::size_t>(os.tellp() - start);
+}
+
+bool
+TraceFile::read(std::istream& is, TraceFile& out, bool strict)
+{
+    auto fail = [&](const char* why) -> bool {
+        if (strict)
+            fatal("malformed spike trace: ", why);
+        return false;
+    };
+
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return fail("bad magic");
+    std::uint32_t version = 0, count = 0;
+    if (!readPod(is, version) || version != kVersion)
+        return fail("unsupported version");
+    if (!readPod(is, count) || count > (1u << 20))
+        return fail("implausible matrix count");
+
+    TraceFile parsed;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        SpikeTrace trace;
+        if (!readString(is, trace.layer_name))
+            return fail("truncated layer name");
+        std::uint64_t rows = 0, cols = 0, steps = 0;
+        if (!readPod(is, rows) || !readPod(is, cols) || !readPod(is, steps))
+            return fail("truncated header");
+        if (rows > (1ull << 32) || cols > (1ull << 24))
+            return fail("implausible matrix shape");
+        trace.time_steps = static_cast<std::size_t>(steps);
+        trace.spikes = BitMatrix(static_cast<std::size_t>(rows),
+                                 static_cast<std::size_t>(cols));
+        const std::size_t words_per_row = (cols + 63) / 64;
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t w = 0; w < words_per_row; ++w) {
+                std::uint64_t word = 0;
+                if (!readPod(is, word))
+                    return fail("truncated bit data");
+                trace.spikes.row(r).setWord(w, word);
+            }
+        }
+        parsed.add(std::move(trace));
+    }
+    out = std::move(parsed);
+    return true;
+}
+
+bool
+TraceFile::save(const std::string& path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    write(os);
+    return static_cast<bool>(os);
+}
+
+bool
+TraceFile::load(const std::string& path, TraceFile& out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    return read(is, out);
+}
+
+} // namespace prosperity

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Spike-trace import/export.
+ *
+ * The paper's artifact feeds the simulator recorded spike matrices from
+ * trained PyTorch models. This module provides that input path: a
+ * compact binary container for per-layer spike matrices so users can
+ * dump activations from their own framework (one matrix per layer,
+ * packed bits) and run every experiment in this repository on real
+ * traces instead of the calibrated synthetic generator.
+ *
+ * Format (little-endian):
+ *   magic "PSPK" | u32 version | u32 matrix count
+ *   per matrix: u64 rows | u64 cols | u64 time_steps |
+ *               rows * ceil(cols/64) u64 words (row-major, low bits
+ *               first, tail bits zero)
+ */
+
+#ifndef PROSPERITY_GEN_TRACE_IO_H
+#define PROSPERITY_GEN_TRACE_IO_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bitmatrix/bit_matrix.h"
+
+namespace prosperity {
+
+/** One recorded layer activation. */
+struct SpikeTrace
+{
+    std::string layer_name;
+    std::size_t time_steps = 1;
+    BitMatrix spikes;
+};
+
+/** A model's worth of recorded activations. */
+class TraceFile
+{
+  public:
+    /** Append one layer's trace. */
+    void add(SpikeTrace trace);
+
+    std::size_t size() const { return traces_.size(); }
+    const SpikeTrace& at(std::size_t i) const;
+
+    /** Serialize to a stream; returns bytes written. */
+    std::size_t write(std::ostream& os) const;
+
+    /** Parse from a stream; throws via fatal() on malformed input
+     *  when `strict`, otherwise returns false. */
+    static bool read(std::istream& is, TraceFile& out,
+                     bool strict = false);
+
+    /** Convenience file-path wrappers. */
+    bool save(const std::string& path) const;
+    static bool load(const std::string& path, TraceFile& out);
+
+  private:
+    std::vector<SpikeTrace> traces_;
+};
+
+} // namespace prosperity
+
+#endif // PROSPERITY_GEN_TRACE_IO_H

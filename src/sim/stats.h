@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Lightweight statistics package for the simulator.
+ *
+ * Modeled after gem5's stats: named scalar counters, averages, and
+ * histograms registered in a StatGroup, dumpable as a formatted report.
+ * Every architectural model in the repository accumulates its activity
+ * (cycles, ops, bytes, energy) through these types so experiments can
+ * inspect and print a uniform view.
+ */
+
+#ifndef PROSPERITY_SIM_STATS_H
+#define PROSPERITY_SIM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prosperity {
+
+/** A named monotonically accumulating scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter& operator+=(double v) { value_ += v; return *this; }
+    Counter& operator++() { value_ += 1.0; return *this; }
+
+    void reset() { value_ = 0.0; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Running mean/min/max of a sampled quantity. */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named collection of statistics. Models register their counters and
+ * distributions here; experiments dump the group after simulation.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Add `v` to the named counter, creating it on first use. */
+    void add(const std::string& stat, double v);
+
+    /** Record a sample in the named distribution. */
+    void sample(const std::string& stat, double v);
+
+    /** Value of a counter (0 if never touched). */
+    double get(const std::string& stat) const;
+
+    /** Distribution accessor (empty distribution if never touched). */
+    const Distribution& dist(const std::string& stat) const;
+
+    /** Reset every statistic to zero. */
+    void reset();
+
+    /** Merge another group's counters and distributions into this one. */
+    void merge(const StatGroup& other);
+
+    const std::string& name() const { return name_; }
+
+    /** Human-readable dump, one stat per line. */
+    void dump(std::ostream& os) const;
+
+    const std::map<std::string, Counter>& counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> dists_;
+};
+
+/**
+ * Format a count of operations as GOP (1e9 ops) etc. for report text.
+ */
+std::string formatSi(double value, const std::string& unit);
+
+} // namespace prosperity
+
+#endif // PROSPERITY_SIM_STATS_H

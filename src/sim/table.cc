@@ -1,0 +1,82 @@
+#include "table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace prosperity {
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    return num(fraction * 100.0, precision) + "%";
+}
+
+std::string
+Table::ratio(double v, int precision)
+{
+    return num(v, precision) + "x";
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::size_t cols = header_.size();
+    for (const auto& row : rows_)
+        cols = std::max(cols, row.size());
+
+    std::vector<std::size_t> widths(cols, 0);
+    auto measure = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    };
+    measure(header_);
+    for (const auto& row : rows_)
+        measure(row);
+
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 3;
+
+    auto rule = [&] { os << std::string(total, '-') << '\n'; };
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string cell = c < row.size() ? row[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 3)
+               << cell;
+        }
+        os << '\n';
+    };
+
+    os << "== " << title_ << " ==\n";
+    rule();
+    if (!header_.empty()) {
+        emit(header_);
+        rule();
+    }
+    for (const auto& row : rows_)
+        emit(row);
+    rule();
+}
+
+} // namespace prosperity

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text table rendering for experiment reports.
+ *
+ * Every bench binary prints its table/figure data through this class so
+ * the output format is uniform and easy to diff against the paper.
+ */
+
+#ifndef PROSPERITY_SIM_TABLE_H
+#define PROSPERITY_SIM_TABLE_H
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prosperity {
+
+/** Column-aligned text table with a title and a header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (ragged rows are padded with empty cells). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format a value as a percentage, e.g. "13.19%". */
+    static std::string pct(double fraction, int precision = 2);
+
+    /** Convenience: format a ratio with an 'x' suffix, e.g. "7.40x". */
+    static std::string ratio(double v, int precision = 2);
+
+    /** Render with box-drawing-free ASCII separators. */
+    void print(std::ostream& os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace prosperity
+
+#endif // PROSPERITY_SIM_TABLE_H

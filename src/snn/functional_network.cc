@@ -1,0 +1,186 @@
+#include "functional_network.h"
+
+#include <algorithm>
+
+#include "core/product_gemm.h"
+#include "sim/logging.h"
+
+namespace prosperity {
+
+void
+FunctionalSnn::addConv(const std::string& name, const ConvParams& conv,
+                       WeightMatrix weights)
+{
+    PROSPERITY_ASSERT(weights.rows() ==
+                          conv.in_channels * conv.kernel * conv.kernel,
+                      "conv weight rows must be inC * k^2");
+    PROSPERITY_ASSERT(weights.cols() == conv.out_channels,
+                      "conv weight cols must be outC");
+    layers_.push_back(Layer{Kind::kConv, name, conv, std::move(weights)});
+}
+
+void
+FunctionalSnn::addMaxPool(const std::string& name)
+{
+    layers_.push_back(Layer{Kind::kPool, name, ConvParams{}, {}});
+}
+
+void
+FunctionalSnn::addLinear(const std::string& name, WeightMatrix weights)
+{
+    layers_.push_back(
+        Layer{Kind::kLinear, name, ConvParams{}, std::move(weights)});
+}
+
+namespace {
+
+/** GeMM through the selected backend, with op accounting. */
+OutputMatrix
+runGemm(const BitMatrix& spikes, const WeightMatrix& weights,
+        ExecutionMode mode, FunctionalSnn::ForwardResult& acc)
+{
+    acc.dense_ops += static_cast<double>(spikes.rows()) *
+                     static_cast<double>(spikes.cols()) *
+                     static_cast<double>(weights.cols());
+    if (mode == ExecutionMode::kProSparsity) {
+        const ProductGemm gemm;
+        ProductGemm::Result r = gemm.multiply(spikes, weights);
+        acc.bit_ops += r.bit_ops;
+        acc.product_ops += r.product_ops;
+        return std::move(r.output);
+    }
+    acc.bit_ops += static_cast<double>(spikes.popcount()) *
+                   static_cast<double>(weights.cols());
+    acc.product_ops = acc.bit_ops; // dense reference reuses nothing
+    return ProductGemm::referenceMultiply(spikes, weights);
+}
+
+/**
+ * Run LIF neurons over a (T * positions) x channels current matrix:
+ * one independent neuron per (position, channel), membrane evolving
+ * across the T time steps. Returns spikes in the same layout.
+ */
+BitMatrix
+runLifGrid(const OutputMatrix& currents, std::size_t time_steps,
+           const LifParams& params)
+{
+    PROSPERITY_ASSERT(currents.rows() % time_steps == 0,
+                      "current rows must be divisible by T");
+    const std::size_t positions = currents.rows() / time_steps;
+    const std::size_t channels = currents.cols();
+    BitMatrix spikes(currents.rows(), channels);
+
+    for (std::size_t p = 0; p < positions; ++p) {
+        LifArray neurons(channels, params);
+        for (std::size_t t = 0; t < time_steps; ++t) {
+            const std::size_t row = t * positions + p;
+            const BitVector fired =
+                neurons.step(currents.rowPtr(row), channels);
+            spikes.row(row) = fired;
+        }
+    }
+    return spikes;
+}
+
+/** Rebuild a SpikeTensor from (T * positions) x channels spike rows. */
+SpikeTensor
+toTensor(const BitMatrix& spikes, std::size_t time_steps,
+         std::size_t channels, std::size_t height, std::size_t width)
+{
+    SpikeTensor out(time_steps, channels, height, width);
+    const std::size_t positions = height * width;
+    for (std::size_t t = 0; t < time_steps; ++t)
+        for (std::size_t p = 0; p < positions; ++p) {
+            const BitVector& row = spikes.row(t * positions + p);
+            for (std::size_t c = row.findFirst(); c < channels;
+                 c = row.findNext(c))
+                out.set(t, c, p / width, p % width, true);
+        }
+    return out;
+}
+
+/** 2x2 max pool on binary spikes: OR over each window. */
+SpikeTensor
+maxPool2x2(const SpikeTensor& in)
+{
+    const std::size_t oh = std::max<std::size_t>(1, in.height() / 2);
+    const std::size_t ow = std::max<std::size_t>(1, in.width() / 2);
+    SpikeTensor out(in.timeSteps(), in.channels(), oh, ow);
+    for (std::size_t t = 0; t < in.timeSteps(); ++t)
+        for (std::size_t c = 0; c < in.channels(); ++c)
+            for (std::size_t y = 0; y < oh; ++y)
+                for (std::size_t x = 0; x < ow; ++x) {
+                    bool any = false;
+                    for (std::size_t dy = 0; dy < 2 && !any; ++dy)
+                        for (std::size_t dx = 0; dx < 2 && !any; ++dx) {
+                            const std::size_t iy = 2 * y + dy;
+                            const std::size_t ix = 2 * x + dx;
+                            if (iy < in.height() && ix < in.width())
+                                any = in.test(t, c, iy, ix);
+                        }
+                    if (any)
+                        out.set(t, c, y, x, true);
+                }
+    return out;
+}
+
+} // namespace
+
+FunctionalSnn::ForwardResult
+FunctionalSnn::forward(const SpikeTensor& input, ExecutionMode mode) const
+{
+    PROSPERITY_ASSERT(!layers_.empty(), "network has no layers");
+    PROSPERITY_ASSERT(layers_.back().kind == Kind::kLinear,
+                      "last layer must be a classifier linear");
+
+    ForwardResult result;
+    SpikeTensor tensor = input;
+    const std::size_t T = input.timeSteps();
+    OutputMatrix last_currents;
+
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const Layer& layer = layers_[i];
+        const bool is_last = i + 1 == layers_.size();
+
+        switch (layer.kind) {
+          case Kind::kConv: {
+            const BitMatrix cols = tensor.im2col(layer.conv);
+            const OutputMatrix currents =
+                runGemm(cols, layer.weights, mode, result);
+            const std::size_t oh = layer.conv.outDim(tensor.height());
+            const std::size_t ow = layer.conv.outDim(tensor.width());
+            const BitMatrix spikes = runLifGrid(currents, T, lif_);
+            tensor = toTensor(spikes, T, layer.conv.out_channels, oh, ow);
+            break;
+          }
+          case Kind::kPool:
+            tensor = maxPool2x2(tensor);
+            break;
+          case Kind::kLinear: {
+            // Flatten: T rows of C*H*W features.
+            const BitMatrix& flat = tensor.bits();
+            PROSPERITY_ASSERT(flat.cols() == layer.weights.rows(),
+                              "linear weight rows must match features");
+            const OutputMatrix currents =
+                runGemm(flat, layer.weights, mode, result);
+            if (is_last) {
+                last_currents = currents;
+            } else {
+                const BitMatrix spikes = runLifGrid(currents, T, lif_);
+                tensor = toTensor(spikes, T, currents.cols(), 1, 1);
+            }
+            break;
+          }
+        }
+        result.layer_densities.push_back(tensor.density());
+    }
+
+    // Rate-style readout: sum the classifier currents over time steps.
+    result.logits.assign(last_currents.cols(), 0);
+    for (std::size_t t = 0; t < last_currents.rows(); ++t)
+        for (std::size_t c = 0; c < last_currents.cols(); ++c)
+            result.logits[c] += last_currents.at(t, c);
+    return result;
+}
+
+} // namespace prosperity

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Functional spiking-CNN execution.
+ *
+ * Chains conv -> pool -> linear layers with LIF neurons into a complete
+ * forward pass over T time steps, executing every spiking GeMM either
+ * through the ProSparsity pipeline or through a dense reference. Used
+ * by tests and examples to demonstrate end-to-end losslessness on a
+ * whole network (not just a single GeMM), and to produce realistic
+ * multi-layer activation statistics.
+ */
+
+#ifndef PROSPERITY_SNN_FUNCTIONAL_NETWORK_H
+#define PROSPERITY_SNN_FUNCTIONAL_NETWORK_H
+
+#include <string>
+#include <vector>
+
+#include "bitmatrix/dense_matrix.h"
+#include "snn/neuron.h"
+#include "snn/spike_tensor.h"
+
+namespace prosperity {
+
+/** Execution backend for the functional forward pass. */
+enum class ExecutionMode {
+    kProSparsity, ///< prefix-reusing ProductGemm (the paper's pipeline)
+    kDense,       ///< plain accumulation reference
+};
+
+/** A runnable spiking CNN assembled layer by layer. */
+class FunctionalSnn
+{
+  public:
+    /**
+     * @param lif Shared LIF parameters for every hidden layer.
+     */
+    explicit FunctionalSnn(LifParams lif = {}) : lif_(lif) {}
+
+    /**
+     * Append a convolution; weights are laid out rows = (c, ky, kx),
+     * cols = out channel — the im2col order.
+     */
+    void addConv(const std::string& name, const ConvParams& conv,
+                 WeightMatrix weights);
+
+    /** Append a 2x2 max pool (OR over the window on binary spikes). */
+    void addMaxPool(const std::string& name);
+
+    /** Append a fully connected layer on flattened features. */
+    void addLinear(const std::string& name, WeightMatrix weights);
+
+    std::size_t numLayers() const { return layers_.size(); }
+
+    /** Result of one forward pass. */
+    struct ForwardResult
+    {
+        /** Accumulated output currents of the last layer, summed over
+         *  time steps: the classification logits. */
+        std::vector<std::int64_t> logits;
+
+        /** Per-layer activation density after the neuron array. */
+        std::vector<double> layer_densities;
+
+        double dense_ops = 0.0;
+        double bit_ops = 0.0;
+        double product_ops = 0.0;
+    };
+
+    /** Run the network on a spike-coded input. */
+    ForwardResult forward(const SpikeTensor& input,
+                          ExecutionMode mode) const;
+
+  private:
+    enum class Kind { kConv, kPool, kLinear };
+
+    struct Layer
+    {
+        Kind kind;
+        std::string name;
+        ConvParams conv{};
+        WeightMatrix weights;
+    };
+
+    LifParams lif_;
+    std::vector<Layer> layers_;
+};
+
+} // namespace prosperity
+
+#endif // PROSPERITY_SNN_FUNCTIONAL_NETWORK_H

@@ -1,0 +1,391 @@
+#include "models.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace prosperity {
+
+namespace {
+
+/** Running CNN builder state: current feature-map geometry. */
+struct CnnState
+{
+    std::size_t h = 0, w = 0, c = 0;
+    std::size_t t = 4;
+    ModelSpec model{};
+
+    void
+    conv(const std::string& name, std::size_t out_c, std::size_t kernel,
+         std::size_t stride, std::size_t padding, bool spiking = true)
+    {
+        ConvParams p;
+        p.in_channels = c;
+        p.out_channels = out_c;
+        p.kernel = kernel;
+        p.stride = stride;
+        p.padding = padding;
+        LayerSpec layer = makeConvLayer(name, t, h, w, p);
+        layer.spiking = spiking;
+        model.layers.push_back(layer);
+        h = p.outDim(h);
+        w = p.outDim(w);
+        c = out_c;
+    }
+
+    void
+    pool(const std::string& name, std::size_t factor = 2)
+    {
+        LayerSpec layer;
+        layer.name = name;
+        layer.type = LayerType::kPool;
+        layer.time_steps = t;
+        model.layers.push_back(layer);
+        h = std::max<std::size_t>(1, h / factor);
+        w = std::max<std::size_t>(1, w / factor);
+    }
+
+    void
+    linear(const std::string& name, std::size_t out_features)
+    {
+        const std::size_t in_features = c * h * w;
+        model.layers.push_back(
+            makeLinearLayer(name, t, 1, in_features, out_features));
+        c = out_features;
+        h = w = 1;
+    }
+};
+
+/** Append one transformer encoder block's layers. */
+void
+appendEncoderBlock(ModelSpec& model, const std::string& prefix,
+                   std::size_t t, std::size_t seq_len, std::size_t dim,
+                   std::size_t mlp_hidden, bool softmax_attention)
+{
+    auto linear = [&](const std::string& name, std::size_t in,
+                      std::size_t out) {
+        model.layers.push_back(
+            makeLinearLayer(prefix + "." + name, t, seq_len, in, out));
+    };
+    linear("q_proj", dim, dim);
+    linear("k_proj", dim, dim);
+    linear("v_proj", dim, dim);
+
+    // Q x K^T: binary query spikes against binary key spikes -> spiking
+    // GeMM of shape (T*L, dim, L) aggregated across heads.
+    LayerSpec qk;
+    qk.name = prefix + ".attn_qk";
+    qk.type = LayerType::kAttentionQK;
+    qk.time_steps = t;
+    qk.gemm = {t * seq_len, dim, seq_len};
+    model.layers.push_back(qk);
+
+    if (softmax_attention) {
+        LayerSpec sm;
+        sm.name = prefix + ".softmax";
+        sm.type = LayerType::kSoftmax;
+        sm.time_steps = t;
+        sm.spiking = false;
+        sm.sfu_ops = static_cast<double>(t) * seq_len * seq_len;
+        model.layers.push_back(sm);
+    }
+
+    // Score x V: (T*L, L, dim). With softmax-free spiking attention the
+    // score matrix is binary (a spiking GeMM); with softmax attention
+    // the scores are real-valued, so every design runs it densely.
+    LayerSpec sv;
+    sv.name = prefix + ".attn_sv";
+    sv.type = LayerType::kAttentionSV;
+    sv.time_steps = t;
+    sv.gemm = {t * seq_len, seq_len, dim};
+    sv.spiking = !softmax_attention;
+    model.layers.push_back(sv);
+
+    linear("out_proj", dim, dim);
+
+    if (softmax_attention) {
+        LayerSpec ln;
+        ln.name = prefix + ".layernorm1";
+        ln.type = LayerType::kLayerNorm;
+        ln.time_steps = t;
+        ln.spiking = false;
+        ln.sfu_ops = static_cast<double>(t) * seq_len * dim;
+        model.layers.push_back(ln);
+    }
+
+    linear("mlp.fc1", dim, mlp_hidden);
+    linear("mlp.fc2", mlp_hidden, dim);
+
+    if (softmax_attention) {
+        LayerSpec ln;
+        ln.name = prefix + ".layernorm2";
+        ln.type = LayerType::kLayerNorm;
+        ln.time_steps = t;
+        ln.spiking = false;
+        ln.sfu_ops = static_cast<double>(t) * seq_len * dim;
+        model.layers.push_back(ln);
+    }
+}
+
+} // namespace
+
+ModelSpec
+buildVgg16(const InputConfig& input)
+{
+    CnnState s{input.height, input.width, input.channels, input.time_steps};
+    s.model.name = "VGG16";
+    s.model.time_steps = input.time_steps;
+
+    const std::vector<std::vector<std::size_t>> stages = {
+        {64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512},
+        {512, 512, 512}};
+    bool first = true;
+    for (std::size_t stage = 0; stage < stages.size(); ++stage) {
+        for (std::size_t i = 0; i < stages[stage].size(); ++i) {
+            s.conv("conv" + std::to_string(stage + 1) + "_" +
+                       std::to_string(i + 1),
+                   stages[stage][i], 3, 1, 1, !first);
+            first = false;
+        }
+        s.pool("pool" + std::to_string(stage + 1));
+    }
+    s.linear("fc1", 512);
+    s.linear("fc2", input.num_classes);
+    return s.model;
+}
+
+ModelSpec
+buildVgg9(const InputConfig& input)
+{
+    CnnState s{input.height, input.width, input.channels, input.time_steps};
+    s.model.name = "VGG9";
+    s.model.time_steps = input.time_steps;
+
+    s.conv("conv1_1", 64, 3, 1, 1, /*spiking=*/false);
+    s.conv("conv1_2", 64, 3, 1, 1);
+    s.pool("pool1");
+    s.conv("conv2_1", 128, 3, 1, 1);
+    s.conv("conv2_2", 128, 3, 1, 1);
+    s.pool("pool2");
+    s.conv("conv3_1", 256, 3, 1, 1);
+    s.conv("conv3_2", 256, 3, 1, 1);
+    s.conv("conv3_3", 256, 3, 1, 1);
+    s.pool("pool3");
+    s.linear("fc1", 1024);
+    s.linear("fc2", input.num_classes);
+    return s.model;
+}
+
+ModelSpec
+buildResNet18(const InputConfig& input)
+{
+    CnnState s{input.height, input.width, input.channels, input.time_steps};
+    s.model.name = "ResNet18";
+    s.model.time_steps = input.time_steps;
+
+    s.conv("conv1", 64, 3, 1, 1, /*spiking=*/false);
+
+    const std::size_t widths[4] = {64, 128, 256, 512};
+    for (std::size_t stage = 0; stage < 4; ++stage) {
+        for (std::size_t block = 0; block < 2; ++block) {
+            const bool down = stage > 0 && block == 0;
+            const std::string prefix = "layer" + std::to_string(stage + 1) +
+                                       "." + std::to_string(block);
+            if (down) {
+                // 1x1 stride-2 downsample on the residual path.
+                const std::size_t in_c = s.c;
+                const std::size_t in_h = s.h, in_w = s.w;
+                s.conv(prefix + ".conv1", widths[stage], 3, 2, 1);
+                // Shortcut conv shares the block's input geometry.
+                ConvParams sc;
+                sc.in_channels = in_c;
+                sc.out_channels = widths[stage];
+                sc.kernel = 1;
+                sc.stride = 2;
+                sc.padding = 0;
+                s.model.layers.push_back(makeConvLayer(
+                    prefix + ".shortcut", s.t, in_h, in_w, sc));
+            } else {
+                s.conv(prefix + ".conv1", widths[stage], 3, 1, 1);
+            }
+            s.conv(prefix + ".conv2", widths[stage], 3, 1, 1);
+        }
+    }
+    s.pool("avgpool", s.h); // global average pool
+    s.linear("fc", input.num_classes);
+    return s.model;
+}
+
+ModelSpec
+buildLeNet5(const InputConfig& input)
+{
+    CnnState s{input.height, input.width, input.channels, input.time_steps};
+    s.model.name = "LeNet5";
+    s.model.time_steps = input.time_steps;
+
+    s.conv("conv1", 6, 5, 1, 2, /*spiking=*/false);
+    s.pool("pool1");
+    s.conv("conv2", 16, 5, 1, 0);
+    s.pool("pool2");
+    s.linear("fc1", 120);
+    s.linear("fc2", 84);
+    s.linear("fc3", input.num_classes);
+    return s.model;
+}
+
+ModelSpec
+buildAlexNet(const InputConfig& input)
+{
+    CnnState s{input.height, input.width, input.channels, input.time_steps};
+    s.model.name = "AlexNet";
+    s.model.time_steps = input.time_steps;
+
+    s.conv("conv1", 64, 3, 1, 1, /*spiking=*/false);
+    s.pool("pool1");
+    s.conv("conv2", 192, 3, 1, 1);
+    s.pool("pool2");
+    s.conv("conv3", 384, 3, 1, 1);
+    s.conv("conv4", 256, 3, 1, 1);
+    s.conv("conv5", 256, 3, 1, 1);
+    s.pool("pool3");
+    s.linear("fc1", 1024);
+    s.linear("fc2", 1024);
+    s.linear("fc3", input.num_classes);
+    return s.model;
+}
+
+ModelSpec
+buildResNet19(const InputConfig& input)
+{
+    CnnState s{input.height, input.width, input.channels, input.time_steps};
+    s.model.name = "ResNet19";
+    s.model.time_steps = input.time_steps;
+
+    s.conv("conv1", 128, 3, 1, 1, /*spiking=*/false);
+
+    struct Stage { std::size_t width, blocks; };
+    const Stage stages[3] = {{128, 3}, {256, 3}, {512, 2}};
+    for (std::size_t stage = 0; stage < 3; ++stage) {
+        for (std::size_t block = 0; block < stages[stage].blocks;
+             ++block) {
+            const bool down = stage > 0 && block == 0;
+            const std::string prefix = "layer" + std::to_string(stage + 1) +
+                                       "." + std::to_string(block);
+            if (down) {
+                const std::size_t in_c = s.c;
+                const std::size_t in_h = s.h, in_w = s.w;
+                s.conv(prefix + ".conv1", stages[stage].width, 3, 2, 1);
+                ConvParams sc;
+                sc.in_channels = in_c;
+                sc.out_channels = stages[stage].width;
+                sc.kernel = 1;
+                sc.stride = 2;
+                sc.padding = 0;
+                s.model.layers.push_back(makeConvLayer(
+                    prefix + ".shortcut", s.t, in_h, in_w, sc));
+            } else {
+                s.conv(prefix + ".conv1", stages[stage].width, 3, 1, 1);
+            }
+            s.conv(prefix + ".conv2", stages[stage].width, 3, 1, 1);
+        }
+    }
+    s.pool("avgpool", s.h);
+    s.linear("fc", input.num_classes);
+    return s.model;
+}
+
+namespace {
+
+/**
+ * SPS-style conv stem: halves spatial size at each stage while ramping
+ * channels up to `dim`; ends at (height/patch) x (width/patch) tokens.
+ */
+void
+appendVitStem(CnnState& s, std::size_t dim)
+{
+    s.conv("sps.conv1", dim / 8, 3, 1, 1, /*spiking=*/false);
+    s.pool("sps.pool1");
+    s.conv("sps.conv2", dim / 4, 3, 1, 1);
+    s.pool("sps.pool2");
+    s.conv("sps.conv3", dim / 2, 3, 1, 1);
+    s.conv("sps.conv4", dim, 3, 1, 1);
+}
+
+} // namespace
+
+ModelSpec
+buildSpikformer(const InputConfig& input)
+{
+    // Spikformer-4-384 (CIFAR default): patch 4 => (H/4)*(W/4) tokens.
+    const std::size_t dim = 384;
+    const std::size_t blocks = 4;
+
+    CnnState s{input.height, input.width, input.channels, input.time_steps};
+    s.model.name = "Spikformer";
+    s.model.time_steps = input.time_steps;
+    appendVitStem(s, dim);
+
+    const std::size_t seq_len = s.h * s.w;
+    for (std::size_t b = 0; b < blocks; ++b)
+        appendEncoderBlock(s.model, "block" + std::to_string(b),
+                           input.time_steps, seq_len, dim, 4 * dim,
+                           /*softmax_attention=*/false);
+    s.model.layers.push_back(makeLinearLayer("head", input.time_steps, 1,
+                                             dim, input.num_classes));
+    return s.model;
+}
+
+ModelSpec
+buildSdt(const InputConfig& input)
+{
+    // Spike-Driven Transformer SDT-2-512 (CIFAR default).
+    const std::size_t dim = 512;
+    const std::size_t blocks = 2;
+
+    CnnState s{input.height, input.width, input.channels, input.time_steps};
+    s.model.name = "SDT";
+    s.model.time_steps = input.time_steps;
+    appendVitStem(s, dim);
+
+    const std::size_t seq_len = s.h * s.w;
+    for (std::size_t b = 0; b < blocks; ++b)
+        appendEncoderBlock(s.model, "block" + std::to_string(b),
+                           input.time_steps, seq_len, dim, 4 * dim,
+                           /*softmax_attention=*/false);
+    s.model.layers.push_back(makeLinearLayer("head", input.time_steps, 1,
+                                             dim, input.num_classes));
+    return s.model;
+}
+
+ModelSpec
+buildSpikeBert(const InputConfig& input)
+{
+    ModelSpec model;
+    model.name = "SpikeBERT";
+    model.time_steps = input.time_steps;
+    for (std::size_t b = 0; b < 12; ++b)
+        appendEncoderBlock(model, "block" + std::to_string(b),
+                           input.time_steps, input.seq_len, 768, 3072,
+                           /*softmax_attention=*/true);
+    model.layers.push_back(makeLinearLayer("classifier", input.time_steps,
+                                           1, 768, input.num_classes));
+    return model;
+}
+
+ModelSpec
+buildSpikingBert(const InputConfig& input)
+{
+    ModelSpec model;
+    model.name = "SpikingBERT";
+    model.time_steps = input.time_steps;
+    for (std::size_t b = 0; b < 4; ++b)
+        appendEncoderBlock(model, "block" + std::to_string(b),
+                           input.time_steps, input.seq_len, 768, 3072,
+                           /*softmax_attention=*/true);
+    model.layers.push_back(makeLinearLayer("classifier", input.time_steps,
+                                           1, 768, input.num_classes));
+    return model;
+}
+
+} // namespace prosperity

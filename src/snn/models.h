@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Model zoo: the SNN architectures evaluated in the paper.
+ *
+ * Spiking CNNs: VGG-16, VGG-9, ResNet-18, LeNet-5 (the paper's "LN5").
+ * Spiking transformers: Spikformer, Spike-Driven Transformer (SDT),
+ * SpikeBERT, SpikingBERT. Layer dimensions follow each model's default
+ * published configuration (see the per-builder comments); time steps and
+ * input geometry come from the dataset (Sec. VII-A: "we use the default
+ * configuration for number of layers, dimensions, and time steps").
+ */
+
+#ifndef PROSPERITY_SNN_MODELS_H
+#define PROSPERITY_SNN_MODELS_H
+
+#include <cstddef>
+
+#include "snn/layer.h"
+
+namespace prosperity {
+
+/** Input geometry + time steps a model is instantiated for. */
+struct InputConfig
+{
+    std::size_t time_steps = 4;   ///< T
+    std::size_t channels = 3;     ///< image channels (2 for DVS)
+    std::size_t height = 32;      ///< image height
+    std::size_t width = 32;       ///< image width
+    std::size_t seq_len = 128;    ///< tokens (NLP models)
+    std::size_t num_classes = 10;
+};
+
+/** VGG-16 with the standard CIFAR head (two FC layers). */
+ModelSpec buildVgg16(const InputConfig& input);
+
+/** VGG-9: 7 conv + 2 FC CIFAR variant. */
+ModelSpec buildVgg9(const InputConfig& input);
+
+/** ResNet-18 with CIFAR stem (3x3 conv1, no initial pool). */
+ModelSpec buildResNet18(const InputConfig& input);
+
+/** LeNet-5 ("LN5"), the classic MNIST network, spiking version. */
+ModelSpec buildLeNet5(const InputConfig& input);
+
+/**
+ * AlexNet (CIFAR variant): 5 conv + 3 FC. Used by the LoAS dual-side
+ * sparsity study (Table V).
+ */
+ModelSpec buildAlexNet(const InputConfig& input);
+
+/**
+ * ResNet-19: the 18-layer CIFAR ResNet with a widened 3-stage layout
+ * (3/3/2 blocks at 128/256/512 channels) common in SNN work and used
+ * by LoAS (Table V).
+ */
+ModelSpec buildResNet19(const InputConfig& input);
+
+/**
+ * Spikformer-4-384: spiking patch splitting (SPS) conv stem to 8x8
+ * patches, 4 encoder blocks, dim 384, MLP ratio 4, spiking self
+ * attention (no softmax — Spikformer's SSA is softmax-free).
+ */
+ModelSpec buildSpikformer(const InputConfig& input);
+
+/**
+ * Spike-Driven Transformer (SDT-2-512): conv stem, 2 encoder blocks,
+ * dim 512, MLP ratio 4, spike-driven self attention.
+ */
+ModelSpec buildSdt(const InputConfig& input);
+
+/**
+ * SpikeBERT: 12 transformer encoder blocks, hidden 768, intermediate
+ * 3072, softmax attention + layer normalization handled by the SFU
+ * (Sec. IV "Support for Transformers").
+ */
+ModelSpec buildSpikeBert(const InputConfig& input);
+
+/**
+ * SpikingBERT: 4 encoder blocks, hidden 768, intermediate 3072
+ * (distilled BERT student with implicit-differentiation training).
+ */
+ModelSpec buildSpikingBert(const InputConfig& input);
+
+} // namespace prosperity
+
+#endif // PROSPERITY_SNN_MODELS_H

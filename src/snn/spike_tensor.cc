@@ -1,0 +1,102 @@
+#include "spike_tensor.h"
+
+#include "sim/logging.h"
+
+namespace prosperity {
+
+SpikeTensor::SpikeTensor(std::size_t time_steps, std::size_t channels,
+                         std::size_t height, std::size_t width)
+    : t_(time_steps), c_(channels), h_(height), w_(width),
+      bits_(time_steps, channels * height * width)
+{
+}
+
+std::size_t
+SpikeTensor::index(std::size_t c, std::size_t y, std::size_t x) const
+{
+    PROSPERITY_ASSERT(c < c_ && y < h_ && x < w_,
+                      "spike tensor index out of range");
+    return (c * h_ + y) * w_ + x;
+}
+
+bool
+SpikeTensor::test(std::size_t t, std::size_t c, std::size_t y,
+                  std::size_t x) const
+{
+    return bits_.test(t, index(c, y, x));
+}
+
+void
+SpikeTensor::set(std::size_t t, std::size_t c, std::size_t y, std::size_t x,
+                 bool v)
+{
+    bits_.set(t, index(c, y, x), v);
+}
+
+void
+SpikeTensor::randomize(Rng& rng, double density)
+{
+    bits_.randomize(rng, density);
+}
+
+BitMatrix
+SpikeTensor::im2col(const ConvParams& conv) const
+{
+    PROSPERITY_ASSERT(conv.in_channels == c_,
+                      "conv channel count mismatch");
+    const std::size_t oh = conv.outDim(h_);
+    const std::size_t ow = conv.outDim(w_);
+    const std::size_t cols = c_ * conv.kernel * conv.kernel;
+    BitMatrix out(t_ * oh * ow, cols);
+
+    for (std::size_t t = 0; t < t_; ++t) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+                const std::size_t row = (t * oh + oy) * ow + ox;
+                for (std::size_t c = 0; c < c_; ++c) {
+                    for (std::size_t ky = 0; ky < conv.kernel; ++ky) {
+                        const std::ptrdiff_t iy =
+                            static_cast<std::ptrdiff_t>(oy * conv.stride +
+                                                        ky) -
+                            static_cast<std::ptrdiff_t>(conv.padding);
+                        if (iy < 0 ||
+                            iy >= static_cast<std::ptrdiff_t>(h_))
+                            continue;
+                        for (std::size_t kx = 0; kx < conv.kernel; ++kx) {
+                            const std::ptrdiff_t ix =
+                                static_cast<std::ptrdiff_t>(
+                                    ox * conv.stride + kx) -
+                                static_cast<std::ptrdiff_t>(conv.padding);
+                            if (ix < 0 ||
+                                ix >= static_cast<std::ptrdiff_t>(w_))
+                                continue;
+                            if (test(t, c, static_cast<std::size_t>(iy),
+                                     static_cast<std::size_t>(ix))) {
+                                const std::size_t col =
+                                    (c * conv.kernel + ky) * conv.kernel +
+                                    kx;
+                                out.set(row, col);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+BitMatrix
+SpikeTensor::flattenPixels() const
+{
+    BitMatrix out(t_ * h_ * w_, c_);
+    for (std::size_t t = 0; t < t_; ++t)
+        for (std::size_t c = 0; c < c_; ++c)
+            for (std::size_t y = 0; y < h_; ++y)
+                for (std::size_t x = 0; x < w_; ++x)
+                    if (test(t, c, y, x))
+                        out.set((t * h_ + y) * w_ + x, c);
+    return out;
+}
+
+} // namespace prosperity

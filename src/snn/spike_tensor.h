@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Multi-time-step spike tensors and the im2col lowering.
+ *
+ * A SpikeTensor holds the binary activation of a spiking CNN layer:
+ * T time steps of a (C, H, W) feature map. Spiking convolution is
+ * lowered to spiking GeMM through im2col (Sec. II-B of the paper):
+ * the result is a BitMatrix with T * outH * outW rows and C * kh * kw
+ * columns that multiplies the flattened kernel matrix.
+ */
+
+#ifndef PROSPERITY_SNN_SPIKE_TENSOR_H
+#define PROSPERITY_SNN_SPIKE_TENSOR_H
+
+#include <cstddef>
+
+#include "bitmatrix/bit_matrix.h"
+#include "sim/rng.h"
+
+namespace prosperity {
+
+/** Convolution geometry. */
+struct ConvParams
+{
+    std::size_t in_channels = 1;
+    std::size_t out_channels = 1;
+    std::size_t kernel = 3;
+    std::size_t stride = 1;
+    std::size_t padding = 1;
+
+    /** Output spatial size for an input of `in` pixels along one axis. */
+    std::size_t
+    outDim(std::size_t in) const
+    {
+        return (in + 2 * padding - kernel) / stride + 1;
+    }
+};
+
+/** Binary activation tensor over T time steps of a (C, H, W) map. */
+class SpikeTensor
+{
+  public:
+    SpikeTensor() = default;
+
+    SpikeTensor(std::size_t time_steps, std::size_t channels,
+                std::size_t height, std::size_t width);
+
+    std::size_t timeSteps() const { return t_; }
+    std::size_t channels() const { return c_; }
+    std::size_t height() const { return h_; }
+    std::size_t width() const { return w_; }
+
+    bool test(std::size_t t, std::size_t c, std::size_t y,
+              std::size_t x) const;
+    void set(std::size_t t, std::size_t c, std::size_t y, std::size_t x,
+             bool v = true);
+
+    /** Fraction of set bits. */
+    double density() const { return bits_.density(); }
+
+    /** Fill with Bernoulli(p) spikes. */
+    void randomize(Rng& rng, double density);
+
+    /**
+     * im2col lowering: rows are (t, oy, ox) output positions in row-major
+     * order; columns are (c, ky, kx) kernel taps. Out-of-bounds taps
+     * (padding) contribute 0 bits.
+     */
+    BitMatrix im2col(const ConvParams& conv) const;
+
+    /**
+     * Flatten to the (T * H * W) x C spiking-GeMM input of a 1x1
+     * convolution / per-pixel linear layer.
+     */
+    BitMatrix flattenPixels() const;
+
+    /** Backing bit matrix: (T) rows x (C*H*W) columns. */
+    const BitMatrix& bits() const { return bits_; }
+
+  private:
+    std::size_t index(std::size_t c, std::size_t y, std::size_t x) const;
+
+    std::size_t t_ = 0, c_ = 0, h_ = 0, w_ = 0;
+    BitMatrix bits_; // T rows, C*H*W cols
+};
+
+} // namespace prosperity
+
+#endif // PROSPERITY_SNN_SPIKE_TENSOR_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Workloads: (model, dataset) pairs and their activation statistics.
+ *
+ * The paper evaluates 16 model/dataset pairs end to end (Fig. 8) and a
+ * wider set for the density study (Fig. 11). The original artifact ships
+ * recorded spike matrices from trained PyTorch models; this repository
+ * substitutes calibrated synthetic activations (see DESIGN.md): each
+ * workload carries an ActivationProfile whose bit density matches the
+ * paper's reported values and whose correlation structure is tuned so
+ * product density lands in the reported range.
+ */
+
+#ifndef PROSPERITY_SNN_WORKLOAD_H
+#define PROSPERITY_SNN_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "snn/models.h"
+
+namespace prosperity {
+
+/** Model architecture identifiers. */
+enum class ModelId {
+    kVgg16,
+    kVgg9,
+    kResNet18,
+    kLeNet5,
+    kSpikformer,
+    kSdt,
+    kSpikeBert,
+    kSpikingBert,
+};
+
+/** Dataset identifiers used in the evaluation. */
+enum class DatasetId {
+    kCifar10,
+    kCifar100,
+    kCifar10Dvs,
+    kMnist,
+    kSst2,
+    kSst5,
+    kMr,
+    kQqp,
+    kMnli,
+};
+
+const char* modelName(ModelId id);
+const char* datasetName(DatasetId id);
+
+/** Input geometry a dataset imposes on a model. */
+InputConfig datasetInput(DatasetId id);
+
+/**
+ * Statistical profile of a workload's spike activations; drives the
+ * synthetic generator in src/gen.
+ *
+ * - `bit_density`: target fraction of 1-bits (Fig. 11 bit density).
+ * - `cluster_fraction`: fraction of rows drawn near a shared base
+ *   pattern (models the combinatorial similarity real SNN activations
+ *   exhibit; the remainder is i.i.d. Bernoulli).
+ * - `bank_size`: number of distinct base patterns per 256-row window.
+ * - `subset_drop_prob`: probability each 1-bit of a base pattern is
+ *   dropped when a clustered row is emitted (creates proper-subset /
+ *   partial-match structure).
+ * - `temporal_repeat`: probability a row is an exact copy of the same
+ *   position in the previous time step (creates exact-match structure).
+ * - `union_prob`: probability a clustered row is the union of prefixes
+ *   from *two* banks (a neuron population driven by two feature
+ *   groups) — the structure that makes a second prefix useful
+ *   (Table II).
+ * - `noise_insert_prob`: per-position probability of a stray spike on
+ *   top of a clustered row. Stray spikes break subset relations over
+ *   wide column windows, which is why ProSparsity's tile width k has a
+ *   sweet spot (Fig. 7 right).
+ */
+struct ActivationProfile
+{
+    double bit_density = 0.2;
+    double cluster_fraction = 0.6;
+    std::size_t bank_size = 24;
+    double subset_drop_prob = 0.25;
+    double temporal_repeat = 0.3;
+    double union_prob = 0.12;
+    double noise_insert_prob = 0.003;
+};
+
+/** One evaluated (model, dataset) pair. */
+struct Workload
+{
+    ModelId model_id;
+    DatasetId dataset_id;
+    ActivationProfile profile;
+
+    std::string name() const;
+
+    /** Build the lowered model for this dataset's input geometry. */
+    ModelSpec buildModel() const;
+};
+
+/** Construct a workload with its calibrated activation profile. */
+Workload makeWorkload(ModelId model, DatasetId dataset);
+
+/** The 16 pairs of the end-to-end evaluation (Fig. 8), paper order. */
+std::vector<Workload> fig8Suite();
+
+/** The density-study suite (Fig. 11): Fig. 8 pairs plus VGG-9 and LN5. */
+std::vector<Workload> fig11Suite();
+
+} // namespace prosperity
+
+#endif // PROSPERITY_SNN_WORKLOAD_H

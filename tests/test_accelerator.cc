@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the Accelerator base-class defaults every design inherits:
+ * dense-GeMM fallback, SFU model, LIF energy, and the shared DRAM
+ * traffic helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.h"
+
+namespace prosperity {
+namespace {
+
+/** Minimal concrete accelerator exposing the protected helper. */
+class StubAccelerator : public Accelerator
+{
+  public:
+    std::string name() const override { return "Stub"; }
+    std::size_t numPes() const override { return 100; }
+    double areaMm2() const override { return 1.0; }
+
+    double
+    runSpikingGemm(const GemmShape& shape, const BitMatrix&,
+                   EnergyModel& energy) override
+    {
+        return runDenseGemm(shape, energy);
+    }
+
+    double
+    dramBytes(const GemmShape& shape, EnergyModel& energy)
+    {
+        return chargeDramTraffic(shape, 128, 32 * 1024, energy);
+    }
+};
+
+TEST(AcceleratorDefaults, DenseGemmCyclesArePerPeMacs)
+{
+    StubAccelerator stub;
+    EnergyModel energy;
+    const GemmShape shape{100, 10, 10};
+    const double cycles = stub.runDenseGemm(shape, energy);
+    // 10k MACs on 100 PEs = 100 cycles.
+    EXPECT_DOUBLE_EQ(cycles, 100.0);
+    EXPECT_GT(energy.componentPj("processor"), 0.0);
+    EXPECT_GT(energy.componentPj("dram"), 0.0);
+}
+
+TEST(AcceleratorDefaults, SfuThroughput)
+{
+    StubAccelerator stub;
+    EnergyModel energy;
+    EXPECT_DOUBLE_EQ(stub.runSfu(3200.0, energy), 100.0); // 32 ops/cycle
+    EXPECT_DOUBLE_EQ(energy.componentPj("other"),
+                     3200.0 * energy.params().sfu_op_pj);
+}
+
+TEST(AcceleratorDefaults, LifChargesEnergyOnly)
+{
+    StubAccelerator stub;
+    EnergyModel energy;
+    stub.runLif(1000.0, energy);
+    EXPECT_DOUBLE_EQ(energy.componentPj("other"),
+                     1000.0 * energy.params().lif_update_pj);
+}
+
+TEST(AcceleratorDefaults, DramTrafficWeightResident)
+{
+    StubAccelerator stub;
+    EnergyModel energy;
+    // Small spikes (fit the 8 KB staging buffer): every operand once.
+    const GemmShape small{64, 64, 64};
+    const double bytes = stub.dramBytes(small, energy);
+    const double expected = 64.0 * 64.0 / 8.0   // packed spikes in
+                            + 64.0 * 64.0       // weights once
+                            + 64.0 * 64.0 / 8.0; // packed spikes out
+    EXPECT_DOUBLE_EQ(bytes, expected);
+}
+
+TEST(AcceleratorDefaults, DramTrafficRestreamsLargeSpikes)
+{
+    StubAccelerator stub;
+    EnergyModel energy;
+    // 1 MB of packed spikes >> 8 KB buffer: re-streamed per n-pass.
+    const GemmShape big{8192, 1024, 512};
+    const double bytes = stub.dramBytes(big, energy);
+    const double spikes_once = 8192.0 * 1024.0 / 8.0;
+    const double passes = 512.0 / 128.0;
+    EXPECT_DOUBLE_EQ(bytes, spikes_once * passes + 1024.0 * 512.0 +
+                                8192.0 * 512.0 / 8.0);
+}
+
+TEST(AcceleratorDefaults, DramTrafficHonorsInputReuse)
+{
+    StubAccelerator stub;
+    EnergyModel e1, e2;
+    GemmShape conv{64, 64, 64};
+    conv.input_reuse = 9;
+    const GemmShape linear{64, 64, 64};
+    EXPECT_LT(stub.dramBytes(conv, e1), stub.dramBytes(linear, e2));
+}
+
+TEST(AcceleratorDefaults, StaticPowerDefaultsToZero)
+{
+    StubAccelerator stub;
+    EXPECT_DOUBLE_EQ(stub.staticPjPerCycle(), 0.0);
+}
+
+TEST(AcceleratorDefaults, BeginModelIsANoop)
+{
+    StubAccelerator stub;
+    ModelHints hints;
+    hints.time_steps = 16;
+    stub.beginModel(hints); // must not crash or change behaviour
+    EnergyModel energy;
+    EXPECT_GT(stub.runDenseGemm(GemmShape{8, 8, 8}, energy), 0.0);
+}
+
+} // namespace
+} // namespace prosperity

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the functional spiking self-attention block (Sec. IV,
+ * "Support for Transformers").
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/spiking_attention.h"
+#include "gen/spike_generator.h"
+#include "sim/rng.h"
+
+namespace prosperity {
+namespace {
+
+BitMatrix
+randomSpikes(std::size_t rows, std::size_t cols, double density,
+             std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitMatrix m(rows, cols);
+    m.randomize(rng, density);
+    return m;
+}
+
+TEST(SpikingAttention, ScoresAreSpikeOverlaps)
+{
+    // One time step, two tokens, d = 4: S[i][j] = |Q_i AND K_j|.
+    const BitMatrix q = BitMatrix::fromStrings({"1100", "0111"});
+    const BitMatrix k = BitMatrix::fromStrings({"1010", "1111"});
+    const BitMatrix v = BitMatrix::fromStrings({"10", "11"});
+
+    const SpikingSelfAttention ssa;
+    const auto r = ssa.evaluate(q, k, v, 1);
+    EXPECT_EQ(r.scores.at(0, 0), 1); // 1100 & 1010
+    EXPECT_EQ(r.scores.at(0, 1), 2); // 1100 & 1111
+    EXPECT_EQ(r.scores.at(1, 0), 1); // 0111 & 1010
+    EXPECT_EQ(r.scores.at(1, 1), 3); // 0111 & 1111
+
+    // O = S V: column 0 sums both score columns (V rows 10, 11 both
+    // set bit 0)... V[0]=10 selects col 0 into out col 0; V[1]=11
+    // selects col 1 into out cols 0 and 1.
+    EXPECT_EQ(r.output.at(0, 0), 1 + 2);
+    EXPECT_EQ(r.output.at(0, 1), 2);
+    EXPECT_EQ(r.output.at(1, 0), 1 + 3);
+    EXPECT_EQ(r.output.at(1, 1), 3);
+}
+
+TEST(SpikingAttention, MatchesReferenceOnRandomInputs)
+{
+    for (int trial = 0; trial < 8; ++trial) {
+        const std::size_t T = 2 + trial % 3, L = 16, d = 24;
+        const BitMatrix q =
+            randomSpikes(T * L, d, 0.2 + 0.05 * trial, 100 + trial);
+        const BitMatrix k =
+            randomSpikes(T * L, d, 0.25, 200 + trial);
+        const BitMatrix v =
+            randomSpikes(T * L, d, 0.3, 300 + trial);
+
+        const SpikingSelfAttention ssa;
+        const auto fast = ssa.evaluate(q, k, v, T);
+        const auto ref = SpikingSelfAttention::reference(q, k, v, T);
+        EXPECT_EQ(fast.scores, ref.scores) << "trial " << trial;
+        EXPECT_EQ(fast.output, ref.output) << "trial " << trial;
+    }
+}
+
+TEST(SpikingAttention, ProSparsityReducesQkWork)
+{
+    // Clustered queries (correlated tokens) let QK^T reuse prefixes.
+    ActivationProfile p;
+    p.bit_density = 0.25;
+    p.cluster_fraction = 0.9;
+    p.bank_size = 6;
+    p.subset_drop_prob = 0.3;
+    p.temporal_repeat = 0.5;
+    const SpikeGenerator gen(p, 17);
+    const std::size_t T = 4, L = 64, d = 48;
+    const BitMatrix q = gen.generate(T * L, d, T, 0);
+    const BitMatrix k = gen.generate(T * L, d, T, 1);
+    const BitMatrix v = gen.generate(T * L, d, T, 2);
+
+    const auto r = SpikingSelfAttention().evaluate(q, k, v, T);
+    EXPECT_LT(r.qk_product_ops, 0.35 * r.qk_dense_ops);
+}
+
+TEST(SpikingAttention, SvWorkTracksVDensity)
+{
+    const std::size_t T = 1, L = 32, d = 32;
+    const BitMatrix q = randomSpikes(L, d, 0.3, 1);
+    const BitMatrix k = randomSpikes(L, d, 0.3, 2);
+    const BitMatrix v_sparse = randomSpikes(L, d, 0.1, 3);
+    const BitMatrix v_dense = randomSpikes(L, d, 0.6, 4);
+
+    const SpikingSelfAttention ssa;
+    const auto r_sparse = ssa.evaluate(q, k, v_sparse, T);
+    const auto r_dense = ssa.evaluate(q, k, v_dense, T);
+    EXPECT_LT(r_sparse.sv_bit_ops, r_dense.sv_bit_ops);
+    // Exactly V's bit density survives: each set V bit costs L adds.
+    EXPECT_DOUBLE_EQ(r_sparse.sv_bit_ops / r_sparse.sv_dense_ops,
+                     v_sparse.density());
+}
+
+TEST(SpikingAttention, AllZeroValuesGiveZeroOutput)
+{
+    const std::size_t T = 2, L = 8, d = 8;
+    const BitMatrix q = randomSpikes(T * L, d, 0.4, 5);
+    const BitMatrix k = randomSpikes(T * L, d, 0.4, 6);
+    const BitMatrix v(T * L, d);
+    const auto r = SpikingSelfAttention().evaluate(q, k, v, T);
+    for (std::size_t i = 0; i < T * L; ++i)
+        for (std::size_t j = 0; j < d; ++j)
+            EXPECT_EQ(r.output.at(i, j), 0);
+    EXPECT_DOUBLE_EQ(r.sv_bit_ops, 0.0);
+}
+
+TEST(SpikingAttention, TimeStepsAreIndependent)
+{
+    // Evaluating T=2 must equal evaluating each step separately.
+    const std::size_t L = 12, d = 16;
+    const BitMatrix q = randomSpikes(2 * L, d, 0.3, 7);
+    const BitMatrix k = randomSpikes(2 * L, d, 0.3, 8);
+    const BitMatrix v = randomSpikes(2 * L, d, 0.3, 9);
+
+    const SpikingSelfAttention ssa;
+    const auto both = ssa.evaluate(q, k, v, 2);
+    for (std::size_t t = 0; t < 2; ++t) {
+        const BitMatrix qt = q.tile(t * L, 0, L, d);
+        const BitMatrix kt = k.tile(t * L, 0, L, d);
+        const BitMatrix vt = v.tile(t * L, 0, L, d);
+        const auto single = ssa.evaluate(qt, kt, vt, 1);
+        for (std::size_t r = 0; r < L; ++r)
+            for (std::size_t j = 0; j < d; ++j)
+                EXPECT_EQ(both.output.at(t * L + r, j),
+                          single.output.at(r, j));
+    }
+}
+
+} // namespace
+} // namespace prosperity

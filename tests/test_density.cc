@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the sparsity analytics behind Tables I/II/V and Fig. 11.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/density.h"
+#include "gen/spike_generator.h"
+#include "sim/rng.h"
+
+namespace prosperity {
+namespace {
+
+TEST(Density, PaperToyExample)
+{
+    const BitMatrix spikes = BitMatrix::fromStrings({
+        "1010", "1001", "1011", "0010", "1101", "1101"});
+    DensityOptions opt;
+    opt.max_sampled_tiles = 0;
+    const DensityReport r = analyzeMatrix(spikes, opt);
+    EXPECT_DOUBLE_EQ(r.bitDensity(), 14.0 / 24.0);
+    EXPECT_DOUBLE_EQ(r.productDensity(), 6.0 / 24.0);
+    EXPECT_NEAR(r.reductionVsBit(), 14.0 / 6.0, 1e-9);
+}
+
+TEST(Density, ProductNeverAboveBit)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 15; ++trial) {
+        BitMatrix spikes(256, 32);
+        spikes.randomize(rng, 0.05 + 0.06 * trial);
+        DensityOptions opt;
+        opt.max_sampled_tiles = 0;
+        const DensityReport r = analyzeMatrix(spikes, opt);
+        EXPECT_LE(r.productDensity(), r.bitDensity() + 1e-12);
+    }
+}
+
+TEST(Density, TwoPrefixNeverWorseThanOne)
+{
+    Rng rng(4);
+    for (int trial = 0; trial < 10; ++trial) {
+        BitMatrix spikes(256, 16);
+        spikes.randomize(rng, 0.3);
+        DensityOptions opt;
+        opt.two_prefix = true;
+        opt.max_sampled_tiles = 0;
+        const DensityReport r = analyzeMatrix(spikes, opt);
+        EXPECT_LE(r.productDensityTwoPrefix(), r.productDensity() + 1e-12);
+        EXPECT_LE(r.twoPrefixRatio(), r.onePrefixRatio() + 1e-12);
+    }
+}
+
+TEST(Density, TwoPrefixFindsDisjointReuse)
+{
+    // Row 2 = Row 0 (1100...) U Row 1 (0011...): with two prefixes its
+    // residual is empty; with one prefix half remains.
+    const BitMatrix spikes = BitMatrix::fromStrings({
+        "11000000",
+        "00110000",
+        "11110000",
+    });
+    DensityOptions opt;
+    opt.two_prefix = true;
+    opt.max_sampled_tiles = 0;
+    const DensityReport r = analyzeMatrix(spikes, opt);
+    EXPECT_DOUBLE_EQ(r.pattern_bits_one, 2.0 + 2.0 + 2.0);
+    EXPECT_DOUBLE_EQ(r.pattern_bits_two, 2.0 + 2.0 + 0.0);
+    EXPECT_DOUBLE_EQ(r.rows_two_prefix, 1.0);
+}
+
+TEST(Density, ClusteredMatricesSparserUnderProduct)
+{
+    ActivationProfile clustered;
+    clustered.bit_density = 0.3;
+    clustered.cluster_fraction = 0.9;
+    clustered.bank_size = 6;
+    clustered.subset_drop_prob = 0.3;
+    clustered.temporal_repeat = 0.4;
+    ActivationProfile iid = clustered;
+    iid.cluster_fraction = 0.0;
+    iid.temporal_repeat = 0.0;
+
+    const BitMatrix mc = SpikeGenerator(clustered, 5).generate(
+        1024, 64, 4, 0);
+    const BitMatrix mi = SpikeGenerator(iid, 5).generate(1024, 64, 4, 0);
+    DensityOptions opt;
+    opt.max_sampled_tiles = 0;
+    const double dc = analyzeMatrix(mc, opt).productDensity();
+    const double di = analyzeMatrix(mi, opt).productDensity();
+    EXPECT_LT(dc, di)
+        << "combinatorial structure must increase product sparsity";
+}
+
+TEST(Density, MergeAddsFields)
+{
+    DensityReport a, b;
+    a.bits_total = 10;
+    a.bits_set = 4;
+    a.pattern_bits_one = 2;
+    b.bits_total = 10;
+    b.bits_set = 6;
+    b.pattern_bits_one = 3;
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.bitDensity(), 0.5);
+    EXPECT_DOUBLE_EQ(a.productDensity(), 0.25);
+}
+
+TEST(Density, WorkloadAnalysisProducesPaperLikeNumbers)
+{
+    // VGG-16/CIFAR100: bit ~34%, product well below 5% (Table I).
+    const Workload w = makeWorkload(ModelId::kVgg16, DatasetId::kCifar100);
+    DensityOptions opt;
+    opt.max_sampled_tiles = 16; // keep the test fast
+    const DensityReport r = analyzeWorkload(w, opt, 7);
+    EXPECT_NEAR(r.bitDensity(), 0.3421, 0.05);
+    EXPECT_LT(r.productDensity(), 0.08);
+    EXPECT_GT(r.reductionVsBit(), 4.0);
+}
+
+TEST(Density, SamplingApproximatesFull)
+{
+    ActivationProfile p;
+    p.bit_density = 0.25;
+    const BitMatrix m = SpikeGenerator(p, 9).generate(2048, 64, 4, 0);
+    DensityOptions full;
+    full.max_sampled_tiles = 0;
+    DensityOptions sampled;
+    sampled.max_sampled_tiles = 8;
+    const double d_full = analyzeMatrix(m, full).productDensity();
+    const double d_sampled = analyzeMatrix(m, sampled).productDensity();
+    EXPECT_NEAR(d_sampled / d_full, 1.0, 0.15);
+}
+
+} // namespace
+} // namespace prosperity

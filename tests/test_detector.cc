@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the TCAM Detector (Sec. V-B): subset-index masks and
+ * number-of-ones temporal information.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "sim/rng.h"
+
+namespace prosperity {
+namespace {
+
+BitMatrix
+fig5Matrix()
+{
+    // Fig. 5 (a): the 6-row tile the paper walks through.
+    return BitMatrix::fromStrings({
+        "1010", // 0
+        "1001", // 1
+        "1011", // 2
+        "0010", // 3
+        "1101", // 4  (paper Fig. 3 uses 1011 here; Fig. 5 uses 1101)
+        "1101", // 5
+    });
+}
+
+TEST(Detector, PopcountsMatchRows)
+{
+    const Detector detector;
+    const DetectionResult r = detector.detect(fig5Matrix());
+    ASSERT_EQ(r.rows(), 6u);
+    const std::size_t expected[] = {2, 2, 3, 1, 3, 3};
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(r.popcounts[i], expected[i]) << "row " << i;
+}
+
+TEST(Detector, SubsetMaskForPaperQueryRow2)
+{
+    // Fig. 5 (a): querying Row 2 (1011) masks to X0XX and matches
+    // Row 0 (1010), Row 1 (1001), Row 3 (0010) — and itself, which is
+    // excluded from the mask.
+    const Detector detector;
+    const DetectionResult r = detector.detect(fig5Matrix());
+    const BitVector& mask = r.subset_mask[2];
+    EXPECT_TRUE(mask.test(0));
+    EXPECT_TRUE(mask.test(1));
+    EXPECT_TRUE(mask.test(3));
+    EXPECT_FALSE(mask.test(2)) << "self-match must be excluded";
+    EXPECT_FALSE(mask.test(4));
+    EXPECT_FALSE(mask.test(5));
+}
+
+TEST(Detector, ExactMatchAppearsInBothMasks)
+{
+    const Detector detector;
+    const DetectionResult r = detector.detect(fig5Matrix());
+    // Rows 4 and 5 are identical (1101): each is a subset of the other.
+    EXPECT_TRUE(r.subset_mask[4].test(5));
+    EXPECT_TRUE(r.subset_mask[5].test(4));
+}
+
+TEST(Detector, EmptyRowsNeverMatch)
+{
+    const BitMatrix tile = BitMatrix::fromStrings({
+        "0000",
+        "1010",
+        "0000",
+    });
+    const Detector detector;
+    const DetectionResult r = detector.detect(tile);
+    // Empty rows are trivially subsets but carry no reusable result.
+    EXPECT_FALSE(r.subset_mask[1].test(0));
+    EXPECT_FALSE(r.subset_mask[1].test(2));
+    // Empty rows do not query either.
+    EXPECT_TRUE(r.subset_mask[0].none());
+    EXPECT_TRUE(r.subset_mask[2].none());
+}
+
+TEST(Detector, MaskSemanticsOnRandomTiles)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 10; ++trial) {
+        BitMatrix tile(64, 16);
+        tile.randomize(rng, 0.3);
+        const DetectionResult r = Detector().detect(tile);
+        for (std::size_t i = 0; i < tile.rows(); ++i) {
+            for (std::size_t j = 0; j < tile.rows(); ++j) {
+                if (i == j)
+                    continue;
+                const bool expected = tile.row(j).popcount() > 0 &&
+                                      tile.row(i).popcount() > 0 &&
+                                      tile.row(j).isSubsetOf(tile.row(i));
+                EXPECT_EQ(r.subset_mask[i].test(j), expected)
+                    << "i=" << i << " j=" << j;
+            }
+        }
+    }
+}
+
+TEST(Detector, PhaseCyclesIsRowsPlusPipelineFill)
+{
+    // Sec. VI-A: m + 4 cycles for the five-stage one-row-per-cycle
+    // pipeline.
+    EXPECT_EQ(Detector::phaseCycles(256), 260u);
+    EXPECT_EQ(Detector::phaseCycles(1), 5u);
+    EXPECT_EQ(Detector::phaseCycles(0), 0u);
+}
+
+TEST(Detector, TcamBitOpsQuadraticInRows)
+{
+    // Sec. VII-G: TCAM bitwise ops are m^2 * k per tile.
+    EXPECT_DOUBLE_EQ(Detector::tcamBitOps(256, 16), 256.0 * 256.0 * 16.0);
+}
+
+} // namespace
+} // namespace prosperity

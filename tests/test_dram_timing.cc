@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the DDR4 timing/energy model (the DRAMsim3 substitute).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/dram_timing.h"
+
+namespace prosperity {
+namespace {
+
+TEST(DramTiming, BurstBytes)
+{
+    const DramTimingModel dram;
+    // 8-byte bus x BL8 x 4 channels.
+    EXPECT_DOUBLE_EQ(dram.burstBytes(), 64.0);
+}
+
+TEST(DramTiming, PeakBandwidthMatchesTableIII)
+{
+    // At perfect locality the model must stream near the configured
+    // 64 GB/s (4 channels x 8 B x 2133 MT/s = 68.3 GB/s raw).
+    const DramTimingModel dram;
+    const double peak = dram.effectiveBandwidth(1.0);
+    EXPECT_GT(peak, 60e9);
+    EXPECT_LT(peak, 70e9);
+}
+
+TEST(DramTiming, StreamingHitRateApproximatesFlatModel)
+{
+    // The flat 64 GB/s DramConfig and the timing model agree within a
+    // few percent at the sequential-stream hit rate (one miss per 2 KB
+    // row = 31/32 hits for 64 B bursts).
+    const DramTimingModel dram;
+    const double bw = dram.effectiveBandwidth(31.0 / 32.0);
+    EXPECT_NEAR(bw / 64e9, 1.0, 0.08);
+}
+
+TEST(DramTiming, RandomAccessCollapsesBandwidth)
+{
+    const DramTimingModel dram;
+    const double streaming = dram.effectiveBandwidth(0.95);
+    const double random = dram.effectiveBandwidth(0.0);
+    EXPECT_LT(random, streaming / 3.0);
+}
+
+TEST(DramTiming, CyclesMonotoneInBytesAndMisses)
+{
+    const DramTimingModel dram;
+    EXPECT_DOUBLE_EQ(dram.memoryCyclesFor(0.0, 0.5), 0.0);
+    EXPECT_LT(dram.memoryCyclesFor(1e5, 0.9),
+              dram.memoryCyclesFor(2e5, 0.9));
+    EXPECT_LT(dram.memoryCyclesFor(1e5, 0.9),
+              dram.memoryCyclesFor(1e5, 0.5));
+}
+
+TEST(DramTiming, AcceleratorClockConversion)
+{
+    const DramTimingModel dram;
+    const Tech tech; // 500 MHz
+    const double mem_cycles = dram.memoryCyclesFor(1e6, 0.9);
+    const double accel_cycles = dram.cyclesFor(1e6, 0.9, tech);
+    // 1066 MHz memory clock vs 500 MHz core clock.
+    EXPECT_NEAR(accel_cycles / mem_cycles, 500e6 / 1066e6, 1e-9);
+}
+
+TEST(DramTiming, EnergyAccountsActivates)
+{
+    const DramTimingModel dram;
+    const double hit_energy = dram.transferEnergyPj(1e6, 1.0);
+    const double miss_energy = dram.transferEnergyPj(1e6, 0.0);
+    EXPECT_GT(miss_energy, hit_energy);
+    // Per-byte floor: read/write + IO energy.
+    EXPECT_GE(hit_energy, 1e6 * 20.0);
+}
+
+TEST(DramTiming, BackgroundEnergyScalesWithTime)
+{
+    const DramTimingModel dram;
+    EXPECT_DOUBLE_EQ(dram.backgroundEnergyPj(0.0), 0.0);
+    EXPECT_NEAR(dram.backgroundEnergyPj(1e-3), 150e-3 * 1e-3 * 1e12,
+                1e3);
+}
+
+} // namespace
+} // namespace prosperity

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for activity-based energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/energy_model.h"
+
+namespace prosperity {
+namespace {
+
+TEST(EnergyModel, ChargeAccumulatesPerComponent)
+{
+    EnergyModel e;
+    e.charge("detector", 2.0, 10.0);
+    e.charge("detector", 1.0, 5.0);
+    e.charge("processor", 0.5, 100.0);
+    EXPECT_DOUBLE_EQ(e.componentPj("detector"), 25.0);
+    EXPECT_DOUBLE_EQ(e.componentPj("processor"), 50.0);
+    EXPECT_DOUBLE_EQ(e.componentPj("missing"), 0.0);
+    EXPECT_DOUBLE_EQ(e.totalPj(), 75.0);
+}
+
+TEST(EnergyModel, AveragePower)
+{
+    EnergyModel e;
+    const Tech tech; // 500 MHz
+    // 1000 pJ over 500 cycles = 1 us => 1e-9 J / 1e-6 s = 1 mW.
+    e.charge("x", 1.0, 1000.0);
+    EXPECT_NEAR(e.averagePowerW(500.0, tech), 1e-3, 1e-12);
+    EXPECT_DOUBLE_EQ(e.averagePowerW(0.0, tech), 0.0);
+}
+
+TEST(EnergyModel, MergeCombinesBreakdowns)
+{
+    EnergyModel a, b;
+    a.charge("dram", 160.0, 2.0);
+    b.charge("dram", 160.0, 1.0);
+    b.charge("buffer", 1.0, 7.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.componentPj("dram"), 480.0);
+    EXPECT_DOUBLE_EQ(a.componentPj("buffer"), 7.0);
+}
+
+TEST(EnergyModel, ResetClears)
+{
+    EnergyModel e;
+    e.charge("x", 1.0, 1.0);
+    e.reset();
+    EXPECT_DOUBLE_EQ(e.totalPj(), 0.0);
+    EXPECT_TRUE(e.breakdown().empty());
+}
+
+TEST(EnergyParams, DefaultsAreOrderedSensibly)
+{
+    const EnergyParams p;
+    // A MAC costs more than an add; narrow adds cost less than wide.
+    EXPECT_GT(p.pe_mac8_pj, p.pe_add8_pj);
+    EXPECT_LT(p.pe_add2_pj, p.pe_add8_pj);
+    EXPECT_GT(p.pe_add12_pj, p.pe_add8_pj);
+    // A TCAM cell compare is far cheaper than an add (Sec. VII-G uses
+    // a 45x ratio between an addition and a TCAM bit op).
+    EXPECT_LT(p.tcam_search_per_bit_pj, p.pe_add8_pj);
+    // DRAM dwarfs SRAM per byte.
+    EXPECT_GT(p.dram_per_byte_pj, 50.0 * p.weight_buffer_per_byte_pj);
+}
+
+} // namespace
+} // namespace prosperity

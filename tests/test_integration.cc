@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Integration tests: whole-pipeline behaviours the paper's headline
+ * claims rest on — functional SNN inference through ProSparsity GeMMs,
+ * the Fig. 9 ablation ordering, and cross-accelerator orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/density.h"
+#include "analysis/runner.h"
+#include "baselines/eyeriss.h"
+#include "baselines/mint.h"
+#include "baselines/ptb.h"
+#include "baselines/sato.h"
+#include "core/product_gemm.h"
+#include "core/prosperity_accelerator.h"
+#include "gen/spike_generator.h"
+#include "snn/neuron.h"
+
+namespace prosperity {
+namespace {
+
+/**
+ * Functional two-layer SNN: spikes -> GeMM -> LIF -> GeMM, executed
+ * once through ProSparsity and once densely. The spike outputs and
+ * currents must match bit for bit (ProSparsity is lossless end to end).
+ */
+TEST(Integration, TwoLayerInferenceLossless)
+{
+    Rng rng(100);
+    const std::size_t T = 4, N0 = 64, N1 = 48, N2 = 32;
+
+    BitMatrix input(T, N0);
+    input.randomize(rng, 0.3);
+    const WeightMatrix w1 = randomWeights(N0, N1, 1);
+    const WeightMatrix w2 = randomWeights(N1, N2, 2);
+
+    LifParams lif_params;
+    lif_params.threshold = 200.0;
+    lif_params.leak = 1.0;
+
+    // ProSparsity path.
+    const ProductGemm gemm;
+    const OutputMatrix c1p = gemm.multiply(input, w1).output;
+    LifArray lif_p(N1, lif_params);
+    const BitMatrix s1p = lif_p.run(c1p);
+    const OutputMatrix c2p = gemm.multiply(s1p, w2).output;
+
+    // Dense reference path.
+    const OutputMatrix c1d = ProductGemm::referenceMultiply(input, w1);
+    LifArray lif_d(N1, lif_params);
+    const BitMatrix s1d = lif_d.run(c1d);
+    const OutputMatrix c2d = ProductGemm::referenceMultiply(s1d, w2);
+
+    EXPECT_EQ(c1p, c1d);
+    EXPECT_EQ(s1p, s1d);
+    EXPECT_EQ(c2p, c2d);
+}
+
+/** Fig. 9 ablation ordering: each design step must speed things up. */
+TEST(Integration, AblationOrdering)
+{
+    const Workload w = makeWorkload(ModelId::kSpikingBert,
+                                    DatasetId::kSst2);
+
+    Ppu::Options bit_only;
+    bit_only.sparsity = SparsityMode::kBitSparsity;
+    Ppu::Options traversal;
+    traversal.dispatch = DispatchMode::kTreeTraversal;
+    Ppu::Options overhead_free;
+
+    ProsperityAccelerator a_bit(ProsperityConfig{}, bit_only);
+    ProsperityAccelerator a_slow(ProsperityConfig{}, traversal);
+    ProsperityAccelerator a_fast(ProsperityConfig{}, overhead_free);
+    PtbAccelerator ptb;
+
+    const double c_ptb = runWorkload(ptb, w).cycles;
+    const double c_bit = runWorkload(a_bit, w).cycles;
+    const double c_slow = runWorkload(a_slow, w).cycles;
+    const double c_fast = runWorkload(a_fast, w).cycles;
+
+    EXPECT_LT(c_bit, c_ptb) << "unstructured beats structured sparsity";
+    EXPECT_LT(c_slow, c_bit) << "ProSparsity beats bit sparsity";
+    EXPECT_LE(c_fast, c_slow) << "overhead-free dispatch is fastest";
+}
+
+/** Table IV ordering on a CNN workload. */
+TEST(Integration, AcceleratorThroughputOrdering)
+{
+    const Workload w = makeWorkload(ModelId::kVgg9, DatasetId::kCifar10);
+
+    EyerissAccelerator eyeriss;
+    PtbAccelerator ptb;
+    MintAccelerator mint;
+    ProsperityAccelerator prosperity;
+
+    const double gops_eyeriss = runWorkload(eyeriss, w).gops();
+    const double gops_ptb = runWorkload(ptb, w).gops();
+    const double gops_mint = runWorkload(mint, w).gops();
+    const double gops_prosperity = runWorkload(prosperity, w).gops();
+
+    EXPECT_GT(gops_ptb, gops_eyeriss);
+    EXPECT_GT(gops_mint, gops_ptb);
+    EXPECT_GT(gops_prosperity, gops_mint);
+}
+
+/** Density hierarchy on a transformer workload (Fig. 11 shape). */
+TEST(Integration, DensityHierarchy)
+{
+    const Workload w = makeWorkload(ModelId::kSpikeBert, DatasetId::kSst2);
+    DensityOptions opt;
+    opt.max_sampled_tiles = 24;
+    const DensityReport r = analyzeWorkload(w, opt, 7);
+    EXPECT_GT(r.bitDensity(), r.productDensity());
+    EXPECT_LT(r.productDensity(), 0.05)
+        << "SpikeBERT product density should be far below bit density";
+    EXPECT_GT(r.reductionVsBit(), 5.0);
+}
+
+/** Sanity: every fig8 workload runs end to end on Prosperity. */
+TEST(Integration, AllWorkloadsRunOnProsperity)
+{
+    Ppu::Options fast;
+    fast.max_sampled_tiles = 8; // keep the test quick
+    for (const auto& w : fig8Suite()) {
+        ProsperityAccelerator prosperity(ProsperityConfig{}, fast);
+        const RunResult r = runWorkload(prosperity, w);
+        EXPECT_GT(r.cycles, 0.0) << w.name();
+        EXPECT_GT(r.gops(), 0.0) << w.name();
+        EXPECT_GT(r.energy.totalPj(), 0.0) << w.name();
+    }
+}
+
+/** Tiling trend (Fig. 7): larger m lowers product density. */
+TEST(Integration, LargerTileMIncreasesSparsity)
+{
+    ActivationProfile p;
+    p.bit_density = 0.3;
+    p.cluster_fraction = 0.8;
+    p.bank_size = 16;
+    p.subset_drop_prob = 0.3;
+    p.temporal_repeat = 0.4;
+    const BitMatrix spikes = SpikeGenerator(p, 3).generate(2048, 64, 4, 0);
+
+    auto density_for_m = [&](std::size_t m) {
+        DensityOptions opt;
+        opt.tile.m = m;
+        opt.max_sampled_tiles = 0;
+        return analyzeMatrix(spikes, opt).productDensity();
+    };
+    const double d16 = density_for_m(16);
+    const double d64 = density_for_m(64);
+    const double d256 = density_for_m(256);
+    EXPECT_GT(d16, d64);
+    EXPECT_GT(d64, d256);
+}
+
+} // namespace
+} // namespace prosperity

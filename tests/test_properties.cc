@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Property-based tests (parameterized sweeps) over the ProSparsity
+ * invariants listed in DESIGN.md Sec. 6:
+ *
+ *  1. ProSparsity GeMM == dense GeMM (losslessness);
+ *  2. every prefix issues before its suffixes (topological legality);
+ *  3. the forest is acyclic;
+ *  4. prefix/pattern disjointness + reconstruction;
+ *  5. op monotonicity: product <= bit <= dense.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/detector.h"
+#include "core/dispatcher.h"
+#include "core/forest.h"
+#include "core/product_gemm.h"
+#include "core/pruner.h"
+#include "gen/spike_generator.h"
+#include "sim/rng.h"
+
+namespace prosperity {
+namespace {
+
+/** (density, rows, cols, clustered?) */
+using PropertyCase = std::tuple<double, std::size_t, std::size_t, bool>;
+
+class ProsparsityProperties
+    : public ::testing::TestWithParam<PropertyCase>
+{
+  protected:
+    BitMatrix
+    makeMatrix() const
+    {
+        const auto [density, rows, cols, clustered] = GetParam();
+        if (clustered) {
+            ActivationProfile p;
+            p.bit_density = density;
+            p.cluster_fraction = 0.85;
+            p.bank_size = 8;
+            p.subset_drop_prob = 0.3;
+            p.temporal_repeat = 0.5;
+            return SpikeGenerator(p, 1234).generate(rows, cols, 4, 0);
+        }
+        Rng rng(static_cast<std::uint64_t>(density * 1000) + rows + cols);
+        BitMatrix m(rows, cols);
+        m.randomize(rng, density);
+        return m;
+    }
+};
+
+TEST_P(ProsparsityProperties, GemmIsLossless)
+{
+    const BitMatrix spikes = makeMatrix();
+    const WeightMatrix weights =
+        randomWeights(spikes.cols(), 12, spikes.rows());
+    const auto result = ProductGemm().multiply(spikes, weights);
+    EXPECT_EQ(result.output,
+              ProductGemm::referenceMultiply(spikes, weights));
+}
+
+TEST_P(ProsparsityProperties, OpsAreMonotone)
+{
+    const BitMatrix spikes = makeMatrix();
+    const WeightMatrix weights =
+        randomWeights(spikes.cols(), 8, spikes.rows() + 1);
+    const auto result = ProductGemm().multiply(spikes, weights);
+    EXPECT_LE(result.product_ops, result.bit_ops + 1e-9);
+    EXPECT_LE(result.bit_ops, result.dense_ops + 1e-9);
+}
+
+TEST_P(ProsparsityProperties, TileInvariants)
+{
+    const BitMatrix spikes = makeMatrix();
+    TileConfig tile;
+    for (std::size_t r0 = 0; r0 < spikes.rows(); r0 += tile.m) {
+        for (std::size_t c0 = 0; c0 < spikes.cols(); c0 += tile.k) {
+            const BitMatrix t = spikes.tile(r0, c0, tile.m, tile.k);
+            const DetectionResult detection = Detector().detect(t);
+            const SparsityTable table = Pruner().prune(t, detection);
+
+            // (3) acyclic forest.
+            const ProsparsityForest forest(table);
+            ASSERT_TRUE(forest.isAcyclic());
+
+            // (4) disjointness + reconstruction.
+            for (std::size_t i = 0; i < table.size(); ++i) {
+                const PrefixEntry& e = table[i];
+                if (!e.hasPrefix())
+                    continue;
+                const BitVector& prefix_row =
+                    t.row(static_cast<std::size_t>(e.prefix));
+                ASSERT_EQ(e.pattern.andPopcount(prefix_row), 0u);
+                ASSERT_EQ(e.pattern | prefix_row, t.row(i));
+            }
+
+            // (2) topological legality of both dispatch modes.
+            for (DispatchMode mode : {DispatchMode::kOverheadFree,
+                                      DispatchMode::kTreeTraversal}) {
+                const DispatchResult d = Dispatcher(mode).dispatch(table);
+                std::vector<std::size_t> position(d.order.size());
+                for (std::size_t idx = 0; idx < d.order.size(); ++idx)
+                    position[d.order[idx]] = idx;
+                for (std::size_t i = 0; i < table.size(); ++i) {
+                    if (table[i].hasPrefix()) {
+                        ASSERT_LT(
+                            position[static_cast<std::size_t>(
+                                table[i].prefix)],
+                            position[i]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProsparsityProperties,
+    ::testing::Values(
+        PropertyCase{0.01, 128, 16, false},
+        PropertyCase{0.05, 256, 16, false},
+        PropertyCase{0.10, 256, 32, false},
+        PropertyCase{0.20, 300, 48, false},
+        PropertyCase{0.34, 256, 16, false},
+        PropertyCase{0.50, 128, 24, false},
+        PropertyCase{0.70, 64, 16, false},
+        PropertyCase{0.90, 512, 16, false},
+        PropertyCase{0.15, 512, 64, true},
+        PropertyCase{0.30, 512, 48, true},
+        PropertyCase{0.45, 256, 32, true},
+        PropertyCase{0.25, 1000, 40, true}));
+
+/** Tile-size sweep: invariants independent of (m, k) choices. */
+class TileSizeProperties
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(TileSizeProperties, LosslessForAnyTileConfig)
+{
+    const auto [m, k] = GetParam();
+    Rng rng(m * 31 + k);
+    BitMatrix spikes(400, 70);
+    spikes.randomize(rng, 0.3);
+    const WeightMatrix weights = randomWeights(70, 16, 3);
+
+    TileConfig tile;
+    tile.m = m;
+    tile.k = k;
+    const auto result = ProductGemm(tile).multiply(spikes, weights);
+    EXPECT_EQ(result.output,
+              ProductGemm::referenceMultiply(spikes, weights));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileSizes, TileSizeProperties,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{16, 8},
+                      std::pair<std::size_t, std::size_t>{32, 16},
+                      std::pair<std::size_t, std::size_t>{64, 64},
+                      std::pair<std::size_t, std::size_t>{128, 32},
+                      std::pair<std::size_t, std::size_t>{256, 16},
+                      std::pair<std::size_t, std::size_t>{512, 128},
+                      std::pair<std::size_t, std::size_t>{1024, 2048}));
+
+} // namespace
+} // namespace prosperity

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the calibrated synthetic spike generator — the stand-in for
+ * the paper's recorded PyTorch activations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gen/spike_generator.h"
+
+namespace prosperity {
+namespace {
+
+ActivationProfile
+defaultProfile()
+{
+    ActivationProfile p;
+    p.bit_density = 0.25;
+    p.cluster_fraction = 0.7;
+    p.bank_size = 12;
+    p.subset_drop_prob = 0.3;
+    p.temporal_repeat = 0.4;
+    return p;
+}
+
+TEST(SpikeGenerator, Deterministic)
+{
+    const SpikeGenerator gen(defaultProfile(), 42);
+    const BitMatrix a = gen.generate(128, 64, 4, 3);
+    const BitMatrix b = gen.generate(128, 64, 4, 3);
+    EXPECT_EQ(a, b);
+}
+
+TEST(SpikeGenerator, LayersHaveIndependentStreams)
+{
+    const SpikeGenerator gen(defaultProfile(), 42);
+    const BitMatrix a = gen.generate(128, 64, 4, 1);
+    const BitMatrix b = gen.generate(128, 64, 4, 2);
+    EXPECT_NE(a, b);
+}
+
+TEST(SpikeGenerator, SeedsChangeOutput)
+{
+    const SpikeGenerator a(defaultProfile(), 1);
+    const SpikeGenerator b(defaultProfile(), 2);
+    EXPECT_NE(a.generate(64, 32, 4, 0), b.generate(64, 32, 4, 0));
+}
+
+TEST(SpikeGenerator, HitsTargetDensity)
+{
+    ActivationProfile p = defaultProfile();
+    const SpikeGenerator gen(p, 7);
+    // Average over layers to wash out the per-layer jitter.
+    double total = 0.0;
+    const int layers = 12;
+    for (int i = 0; i < layers; ++i)
+        total += gen.generate(512, 128, 4, i).density();
+    EXPECT_NEAR(total / layers, p.bit_density, 0.05);
+}
+
+TEST(SpikeGenerator, LayerDensityJitterIsBounded)
+{
+    const SpikeGenerator gen(defaultProfile(), 7);
+    for (std::size_t layer = 0; layer < 30; ++layer) {
+        const double d = gen.layerDensity(layer);
+        EXPECT_GE(d, 0.25 * 0.84);
+        EXPECT_LE(d, 0.25 * 1.16);
+    }
+}
+
+TEST(SpikeGenerator, TemporalRepeatCreatesExactCopies)
+{
+    ActivationProfile p = defaultProfile();
+    p.temporal_repeat = 1.0;  // every row copies the previous step
+    p.cluster_fraction = 0.0; // base rows fully random
+    const SpikeGenerator gen(p, 5);
+    const std::size_t positions = 32, t_steps = 4;
+    const BitMatrix m = gen.generate(positions * t_steps, 48, t_steps, 0);
+    for (std::size_t t = 1; t < t_steps; ++t)
+        for (std::size_t i = 0; i < positions; ++i)
+            EXPECT_EQ(m.row(t * positions + i), m.row(i))
+                << "t=" << t << " i=" << i;
+}
+
+TEST(SpikeGenerator, ClusteredRowsAreSubsetsOfBankPatterns)
+{
+    // With full clustering and no iid rows, every row must be a subset
+    // of one of bank_size base patterns; with a small bank, many row
+    // pairs are subset-related — the structure ProSparsity exploits.
+    ActivationProfile p = defaultProfile();
+    p.cluster_fraction = 1.0;
+    p.temporal_repeat = 0.0;
+    p.bank_size = 4;
+    const SpikeGenerator gen(p, 9);
+    const BitMatrix m = gen.generate(128, 16, 1, 0);
+
+    std::size_t subset_pairs = 0;
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.rows(); ++j)
+            if (i != j && m.row(j).popcount() > 0 &&
+                m.row(j).isSubsetOf(m.row(i)))
+                ++subset_pairs;
+    // Far more subset pairs than an iid matrix of the same density.
+    EXPECT_GT(subset_pairs, m.rows());
+}
+
+TEST(SpikeGenerator, GenerateLayerUsesGemmShape)
+{
+    const SpikeGenerator gen(defaultProfile(), 3);
+    LayerSpec layer;
+    layer.gemm = {96, 48, 10};
+    layer.time_steps = 4;
+    const BitMatrix m = gen.generateLayer(layer, 0);
+    EXPECT_EQ(m.rows(), 96u);
+    EXPECT_EQ(m.cols(), 48u);
+}
+
+TEST(SpikeGenerator, EmptyShapesAreHandled)
+{
+    const SpikeGenerator gen(defaultProfile(), 3);
+    const BitMatrix m = gen.generate(0, 16, 4, 0);
+    EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(RandomWeights, RangeAndDeterminism)
+{
+    const WeightMatrix a = randomWeights(16, 8, 11);
+    const WeightMatrix b = randomWeights(16, 8, 11);
+    EXPECT_EQ(a, b);
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            EXPECT_GE(a.at(r, c), -127);
+            EXPECT_LE(a.at(r, c), 127);
+        }
+}
+
+} // namespace
+} // namespace prosperity

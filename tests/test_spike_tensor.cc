@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for SpikeTensor and the im2col lowering that turns spiking
+ * convolutions into spiking GeMMs (Sec. II-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bitmatrix/dense_matrix.h"
+#include "snn/spike_tensor.h"
+
+namespace prosperity {
+namespace {
+
+TEST(ConvParams, OutputDims)
+{
+    ConvParams p;
+    p.kernel = 3;
+    p.stride = 1;
+    p.padding = 1;
+    EXPECT_EQ(p.outDim(32), 32u); // same padding keeps size
+    p.stride = 2;
+    EXPECT_EQ(p.outDim(32), 16u);
+    p.kernel = 5;
+    p.stride = 1;
+    p.padding = 0;
+    EXPECT_EQ(p.outDim(28), 24u); // LeNet conv2 geometry
+}
+
+TEST(SpikeTensor, SetAndTest)
+{
+    SpikeTensor t(2, 3, 4, 5);
+    EXPECT_EQ(t.timeSteps(), 2u);
+    EXPECT_EQ(t.channels(), 3u);
+    t.set(1, 2, 3, 4);
+    EXPECT_TRUE(t.test(1, 2, 3, 4));
+    EXPECT_FALSE(t.test(0, 2, 3, 4));
+    EXPECT_FALSE(t.test(1, 1, 3, 4));
+}
+
+TEST(SpikeTensor, Im2ColShape)
+{
+    SpikeTensor t(2, 3, 8, 8);
+    ConvParams p;
+    p.in_channels = 3;
+    p.kernel = 3;
+    p.stride = 1;
+    p.padding = 1;
+    const BitMatrix cols = t.im2col(p);
+    EXPECT_EQ(cols.rows(), 2u * 8u * 8u);
+    EXPECT_EQ(cols.cols(), 3u * 9u);
+}
+
+TEST(SpikeTensor, Im2ColPlacesTapsCorrectly)
+{
+    // Single spike at (t=0, c=0, y=1, x=1) in a 3x3 image with a 3x3
+    // same-padded kernel: it appears at kernel tap (ky, kx) for the
+    // output position (1 - (ky-1), 1 - (kx-1)).
+    SpikeTensor t(1, 1, 3, 3);
+    t.set(0, 0, 1, 1);
+    ConvParams p;
+    p.in_channels = 1;
+    p.kernel = 3;
+    p.stride = 1;
+    p.padding = 1;
+    const BitMatrix cols = t.im2col(p);
+    EXPECT_EQ(cols.popcount(), 9u); // visible to all 9 output positions
+    // Center output (1,1) sees the spike at the kernel center (1,1).
+    EXPECT_TRUE(cols.test(1 * 3 + 1, 1 * 3 + 1));
+    // Output (0,0) sees it at tap (2,2).
+    EXPECT_TRUE(cols.test(0, 2 * 3 + 2));
+}
+
+TEST(SpikeTensor, Im2ColRespectsPaddingBounds)
+{
+    // A corner spike reaches fewer output positions.
+    SpikeTensor t(1, 1, 3, 3);
+    t.set(0, 0, 0, 0);
+    ConvParams p;
+    p.in_channels = 1;
+    p.kernel = 3;
+    p.stride = 1;
+    p.padding = 1;
+    const BitMatrix cols = t.im2col(p);
+    EXPECT_EQ(cols.popcount(), 4u); // only outputs (0,0),(0,1),(1,0),(1,1)
+}
+
+/**
+ * Cross-check: im2col GeMM equals direct convolution on random data.
+ * This pins down the exact column ordering (c, ky, kx) used by the
+ * weight layout.
+ */
+TEST(SpikeTensor, Im2ColGemmMatchesDirectConvolution)
+{
+    Rng rng(17);
+    const std::size_t T = 2, C = 3, H = 6, W = 5, OC = 4;
+    SpikeTensor input(T, C, H, W);
+    input.randomize(rng, 0.35);
+
+    ConvParams p;
+    p.in_channels = C;
+    p.out_channels = OC;
+    p.kernel = 3;
+    p.stride = 1;
+    p.padding = 1;
+
+    // Weights: rows = (c, ky, kx) flattened, cols = output channel.
+    WeightMatrix weights(C * 9, OC);
+    weights.randomizeInt(rng, -8, 8);
+
+    const BitMatrix cols = input.im2col(p);
+    // GeMM reference.
+    const std::size_t oh = p.outDim(H), ow = p.outDim(W);
+    OutputMatrix gemm_out(cols.rows(), OC, 0);
+    for (std::size_t r = 0; r < cols.rows(); ++r)
+        for (std::size_t k = 0; k < cols.cols(); ++k)
+            if (cols.test(r, k))
+                for (std::size_t n = 0; n < OC; ++n)
+                    gemm_out.at(r, n) += weights.at(k, n);
+
+    // Direct convolution.
+    for (std::size_t t = 0; t < T; ++t) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+                for (std::size_t oc = 0; oc < OC; ++oc) {
+                    std::int32_t acc = 0;
+                    for (std::size_t c = 0; c < C; ++c)
+                        for (std::size_t ky = 0; ky < 3; ++ky)
+                            for (std::size_t kx = 0; kx < 3; ++kx) {
+                                const std::ptrdiff_t iy =
+                                    static_cast<std::ptrdiff_t>(oy + ky) -
+                                    1;
+                                const std::ptrdiff_t ix =
+                                    static_cast<std::ptrdiff_t>(ox + kx) -
+                                    1;
+                                if (iy < 0 || ix < 0 ||
+                                    iy >= static_cast<std::ptrdiff_t>(H) ||
+                                    ix >= static_cast<std::ptrdiff_t>(W))
+                                    continue;
+                                if (input.test(
+                                        t, c,
+                                        static_cast<std::size_t>(iy),
+                                        static_cast<std::size_t>(ix)))
+                                    acc += weights.at(
+                                        (c * 3 + ky) * 3 + kx, oc);
+                            }
+                    const std::size_t row = (t * oh + oy) * ow + ox;
+                    EXPECT_EQ(gemm_out.at(row, oc), acc)
+                        << "t=" << t << " oy=" << oy << " ox=" << ox;
+                }
+            }
+        }
+    }
+}
+
+TEST(SpikeTensor, FlattenPixelsShapeAndContent)
+{
+    SpikeTensor t(2, 3, 2, 2);
+    t.set(1, 2, 0, 1);
+    const BitMatrix flat = t.flattenPixels();
+    EXPECT_EQ(flat.rows(), 2u * 2u * 2u);
+    EXPECT_EQ(flat.cols(), 3u);
+    // Row index = (t * H + y) * W + x = (1*2+0)*2+1 = 5, col = channel 2.
+    EXPECT_TRUE(flat.test(5, 2));
+    EXPECT_EQ(flat.popcount(), 1u);
+}
+
+TEST(SpikeTensor, DensityTracksRandomize)
+{
+    Rng rng(5);
+    SpikeTensor t(4, 8, 16, 16);
+    t.randomize(rng, 0.2);
+    EXPECT_NEAR(t.density(), 0.2, 0.02);
+}
+
+} // namespace
+} // namespace prosperity

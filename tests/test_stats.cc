@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the stats package and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.h"
+#include "sim/table.h"
+
+namespace prosperity {
+namespace {
+
+TEST(Counter, AccumulatesAndResets)
+{
+    Counter c;
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+    c += 2.5;
+    ++c;
+    EXPECT_DOUBLE_EQ(c.value(), 3.5);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.sample(3.0);
+    d.sample(2.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(StatGroup, AddAndGet)
+{
+    StatGroup g("ppu");
+    g.add("cycles", 10.0);
+    g.add("cycles", 5.0);
+    EXPECT_DOUBLE_EQ(g.get("cycles"), 15.0);
+    EXPECT_DOUBLE_EQ(g.get("missing"), 0.0);
+}
+
+TEST(StatGroup, MergeAddsCounters)
+{
+    StatGroup a("a"), b("b");
+    a.add("ops", 3.0);
+    b.add("ops", 4.0);
+    b.add("bytes", 8.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("ops"), 7.0);
+    EXPECT_DOUBLE_EQ(a.get("bytes"), 8.0);
+}
+
+TEST(StatGroup, DumpContainsEveryStat)
+{
+    StatGroup g("unit");
+    g.add("alpha", 1.0);
+    g.sample("beta", 2.0);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("unit"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta"), std::string::npos);
+}
+
+TEST(FormatSi, PicksPrefixes)
+{
+    EXPECT_EQ(formatSi(390.1e9, "OP/s"), "390.10 GOP/s");
+    EXPECT_EQ(formatSi(1.5e3, "B"), "1.50 KB");
+    EXPECT_EQ(formatSi(12.0, "x"), "12.00 x");
+}
+
+TEST(Table, FormatsHelpers)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::pct(0.1319), "13.19%");
+    EXPECT_EQ(Table::ratio(7.4, 1), "7.4x");
+}
+
+TEST(Table, PrintAlignsColumnsAndPads)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b"}); // ragged: padded
+    std::ostringstream os;
+    t.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+} // namespace
+} // namespace prosperity

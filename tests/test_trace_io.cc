@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the spike-trace container (import path for real recorded
+ * activations).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "gen/spike_generator.h"
+#include "gen/trace_io.h"
+
+namespace prosperity {
+namespace {
+
+SpikeTrace
+makeTrace(const std::string& name, std::size_t rows, std::size_t cols,
+          std::uint64_t seed)
+{
+    SpikeTrace trace;
+    trace.layer_name = name;
+    trace.time_steps = 4;
+    Rng rng(seed);
+    trace.spikes = BitMatrix(rows, cols);
+    trace.spikes.randomize(rng, 0.3);
+    return trace;
+}
+
+TEST(TraceIo, RoundTripsThroughStream)
+{
+    TraceFile file;
+    file.add(makeTrace("conv1", 64, 27, 1));
+    file.add(makeTrace("conv2", 128, 576, 2));
+    file.add(makeTrace("fc", 4, 512, 3));
+
+    std::stringstream buffer;
+    const std::size_t written = file.write(buffer);
+    EXPECT_GT(written, 0u);
+
+    TraceFile parsed;
+    ASSERT_TRUE(TraceFile::read(buffer, parsed));
+    ASSERT_EQ(parsed.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(parsed.at(i).layer_name, file.at(i).layer_name);
+        EXPECT_EQ(parsed.at(i).time_steps, file.at(i).time_steps);
+        EXPECT_EQ(parsed.at(i).spikes, file.at(i).spikes);
+    }
+}
+
+TEST(TraceIo, RoundTripsOddWidths)
+{
+    // Widths straddling word boundaries must survive the packed format.
+    for (std::size_t cols : {1u, 63u, 64u, 65u, 130u}) {
+        TraceFile file;
+        file.add(makeTrace("layer", 17, cols, cols));
+        std::stringstream buffer;
+        file.write(buffer);
+        TraceFile parsed;
+        ASSERT_TRUE(TraceFile::read(buffer, parsed)) << cols;
+        EXPECT_EQ(parsed.at(0).spikes, file.at(0).spikes) << cols;
+    }
+}
+
+TEST(TraceIo, EmptyFileRoundTrips)
+{
+    TraceFile file;
+    std::stringstream buffer;
+    file.write(buffer);
+    TraceFile parsed;
+    ASSERT_TRUE(TraceFile::read(buffer, parsed));
+    EXPECT_EQ(parsed.size(), 0u);
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream buffer;
+    buffer << "NOPE-this-is-not-a-trace";
+    TraceFile parsed;
+    EXPECT_FALSE(TraceFile::read(buffer, parsed));
+}
+
+TEST(TraceIo, RejectsTruncatedData)
+{
+    TraceFile file;
+    file.add(makeTrace("conv", 64, 64, 9));
+    std::stringstream buffer;
+    file.write(buffer);
+    const std::string full = buffer.str();
+
+    // Cut the payload at several points; every cut must fail cleanly.
+    for (std::size_t cut : {5u, 12u, 40u,
+                            static_cast<unsigned>(full.size() - 8)}) {
+        std::stringstream truncated(full.substr(0, cut));
+        TraceFile parsed;
+        EXPECT_FALSE(TraceFile::read(truncated, parsed)) << cut;
+    }
+}
+
+TEST(TraceIo, SaveAndLoadFile)
+{
+    const std::string path = "/tmp/prosperity_trace_test.pspk";
+    TraceFile file;
+    file.add(makeTrace("only", 32, 100, 4));
+    ASSERT_TRUE(file.save(path));
+
+    TraceFile loaded;
+    ASSERT_TRUE(TraceFile::load(path, loaded));
+    EXPECT_EQ(loaded.at(0).spikes, file.at(0).spikes);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileFails)
+{
+    TraceFile out;
+    EXPECT_FALSE(TraceFile::load("/nonexistent/dir/trace.pspk", out));
+}
+
+TEST(TraceIo, GeneratedTraceMatchesGeneratorOutput)
+{
+    // The intended workflow: dump generator output, reload, get the
+    // exact same matrices for the simulator.
+    ActivationProfile p;
+    p.bit_density = 0.25;
+    const SpikeGenerator gen(p, 11);
+    const BitMatrix original = gen.generate(256, 48, 4, 2);
+
+    TraceFile file;
+    file.add(SpikeTrace{"gen", 4, original});
+    std::stringstream buffer;
+    file.write(buffer);
+    TraceFile parsed;
+    ASSERT_TRUE(TraceFile::read(buffer, parsed));
+    EXPECT_EQ(parsed.at(0).spikes, original);
+}
+
+} // namespace
+} // namespace prosperity

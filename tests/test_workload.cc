@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for workload construction and the calibration table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "snn/workload.h"
+
+namespace prosperity {
+namespace {
+
+TEST(Workload, NamesAreStable)
+{
+    const Workload w = makeWorkload(ModelId::kVgg16, DatasetId::kCifar100);
+    EXPECT_EQ(w.name(), "VGG16/CIFAR100");
+    EXPECT_STREQ(modelName(ModelId::kSpikeBert), "SpikeBERT");
+    EXPECT_STREQ(datasetName(DatasetId::kSst2), "SST-2");
+}
+
+TEST(Workload, CalibratedDensitiesMatchPaperQuotes)
+{
+    // Values the paper states explicitly.
+    EXPECT_NEAR(makeWorkload(ModelId::kVgg16, DatasetId::kCifar100)
+                    .profile.bit_density,
+                0.3421, 1e-6);
+    EXPECT_NEAR(makeWorkload(ModelId::kSpikingBert, DatasetId::kSst2)
+                    .profile.bit_density,
+                0.2049, 1e-6);
+    EXPECT_NEAR(makeWorkload(ModelId::kSpikeBert, DatasetId::kSst2)
+                    .profile.bit_density,
+                0.1319, 1e-6);
+}
+
+TEST(Workload, DatasetInputsAreSane)
+{
+    const InputConfig dvs = datasetInput(DatasetId::kCifar10Dvs);
+    EXPECT_EQ(dvs.channels, 2u); // polarity channels
+    EXPECT_GT(dvs.time_steps, 4u);
+
+    const InputConfig mnist = datasetInput(DatasetId::kMnist);
+    EXPECT_EQ(mnist.channels, 1u);
+    EXPECT_EQ(mnist.height, 28u);
+
+    const InputConfig mnli = datasetInput(DatasetId::kMnli);
+    EXPECT_EQ(mnli.num_classes, 3u);
+    EXPECT_EQ(mnli.seq_len, 128u);
+}
+
+TEST(Workload, BuildModelMatchesModelId)
+{
+    const Workload w = makeWorkload(ModelId::kSdt, DatasetId::kCifar100);
+    const ModelSpec m = w.buildModel();
+    EXPECT_EQ(m.name, "SDT");
+    EXPECT_GT(m.layers.size(), 0u);
+}
+
+TEST(Workload, Fig8SuiteHasSixteenPairsInPaperOrder)
+{
+    const auto suite = fig8Suite();
+    ASSERT_EQ(suite.size(), 16u);
+    EXPECT_EQ(suite.front().name(), "VGG16/CIFAR10");
+    EXPECT_EQ(suite[10].name(), "SpikeBERT/SST-2");
+    EXPECT_EQ(suite.back().name(), "SpikingBERT/MNLI");
+    // Exactly 10 CNN-dataset pairs then 6 transformer NLP pairs? No:
+    // 4 CNN + 6 vision transformer + 6 NLP transformer.
+    std::size_t transformers = 0;
+    for (const auto& w : suite)
+        if (w.model_id == ModelId::kSpikformer ||
+            w.model_id == ModelId::kSdt ||
+            w.model_id == ModelId::kSpikeBert ||
+            w.model_id == ModelId::kSpikingBert)
+            ++transformers;
+    EXPECT_EQ(transformers, 12u);
+}
+
+TEST(Workload, Fig11SuiteCoversAllEightModels)
+{
+    const auto suite = fig11Suite();
+    std::set<ModelId> models;
+    for (const auto& w : suite)
+        models.insert(w.model_id);
+    EXPECT_EQ(models.size(), 8u);
+}
+
+TEST(Workload, ProfilesAreWithinValidRanges)
+{
+    for (const auto& w : fig11Suite()) {
+        const ActivationProfile& p = w.profile;
+        EXPECT_GT(p.bit_density, 0.0) << w.name();
+        EXPECT_LT(p.bit_density, 0.6) << w.name();
+        EXPECT_GE(p.cluster_fraction, 0.0) << w.name();
+        EXPECT_LE(p.cluster_fraction, 1.0) << w.name();
+        EXPECT_GT(p.bank_size, 0u) << w.name();
+        EXPECT_GT(p.subset_drop_prob, 0.0) << w.name();
+        EXPECT_LT(p.subset_drop_prob, 1.0) << w.name();
+    }
+}
+
+TEST(Workload, TransformerWorkloadsAreSparserThanCnns)
+{
+    // Fig. 11: SpikeBERT is the sparsest family, VGG-16 the densest.
+    const double vgg = makeWorkload(ModelId::kVgg16, DatasetId::kCifar10)
+                           .profile.bit_density;
+    const double bert = makeWorkload(ModelId::kSpikeBert, DatasetId::kMr)
+                            .profile.bit_density;
+    EXPECT_GT(vgg, bert);
+}
+
+} // namespace
+} // namespace prosperity
