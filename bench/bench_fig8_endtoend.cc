@@ -3,7 +3,9 @@
  * Fig. 8 reproduction: end-to-end speedup and energy efficiency of
  * Prosperity vs Eyeriss, PTB, SATO, MINT, Stellar (spiking CNNs only)
  * and the A100 across the 16 model/dataset pairs, normalized to
- * Eyeriss, with geometric means.
+ * Eyeriss, with geometric means. All accelerators are constructed by
+ * name through the AcceleratorRegistry and the whole 16x7 campaign is
+ * dispatched as one SimulationEngine batch.
  *
  * Paper headline numbers: Prosperity averages 7.4x speedup / 8.0x
  * energy over PTB, 4.8x / 4.2x over SATO, 3.6x / 3.1x over MINT,
@@ -15,14 +17,7 @@
 #include <map>
 #include <vector>
 
-#include "analysis/runner.h"
-#include "baselines/a100.h"
-#include "baselines/eyeriss.h"
-#include "baselines/mint.h"
-#include "baselines/ptb.h"
-#include "baselines/sato.h"
-#include "baselines/stellar.h"
-#include "core/prosperity_accelerator.h"
+#include "analysis/engine.h"
 #include "sim/table.h"
 
 using namespace prosperity;
@@ -43,23 +38,22 @@ isCnn(const Workload& w)
 int
 main()
 {
-    EyerissAccelerator eyeriss;
-    PtbAccelerator ptb;
-    SatoAccelerator sato;
-    MintAccelerator mint;
-    StellarAccelerator stellar;
-    A100Accelerator a100;
-    ProsperityAccelerator prosperity;
-    const std::vector<Accelerator*> accels = {
-        &eyeriss, &ptb, &sato, &mint, &stellar, &a100, &prosperity};
+    const std::vector<AcceleratorSpec> specs = {
+        {"eyeriss"}, {"ptb"},  {"sato"},       {"mint"},
+        {"stellar"}, {"a100"}, {"prosperity"},
+    };
+    const std::vector<Workload> workloads = fig8Suite();
+
+    SimulationEngine engine;
+    const auto grid = engine.runGrid(specs, workloads);
 
     Table speedup_table(
         "Fig. 8 (top) — speedup normalized to Eyeriss");
     Table energy_table(
         "Fig. 8 (bottom) — energy efficiency normalized to Eyeriss");
     std::vector<std::string> header = {"workload"};
-    for (const auto* a : accels)
-        header.push_back(a->name());
+    for (const RunResult& r : grid.front())
+        header.push_back(r.accelerator);
     speedup_table.setHeader(header);
     energy_table.setHeader(header);
 
@@ -68,20 +62,17 @@ main()
     std::map<std::string, std::vector<double>> energy_vs;
     std::vector<double> prosperity_speedup, prosperity_energy;
 
-    RunOptions options;
-    for (const Workload& w : fig8Suite()) {
-        const auto results = runWorkloadOnAll(accels, w, options);
-        const double base_s = results[0].seconds();
-        const double base_e = results[0].energy.totalPj();
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Workload& w = workloads[wi];
+        const std::vector<RunResult>& results = grid[wi];
+        const double base_s = results.front().seconds();
+        const double base_e = results.front().energy.totalPj();
         const RunResult& pros = results.back();
 
         std::vector<std::string> srow = {w.name()};
         std::vector<std::string> erow = {w.name()};
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            const RunResult& r = results[i];
-            const bool stellar_na =
-                accels[i] == &stellar && !isCnn(w);
-            if (stellar_na) {
+        for (const RunResult& r : results) {
+            if (r.accelerator == "Stellar" && !isCnn(w)) {
                 srow.push_back("n/a");
                 erow.push_back("n/a");
                 continue;
@@ -90,7 +81,8 @@ main()
             const double e = base_e / r.energy.totalPj();
             srow.push_back(Table::ratio(s));
             erow.push_back(Table::ratio(e));
-            if (accels[i] != &prosperity && accels[i] != &eyeriss) {
+            if (r.accelerator != "Eyeriss" &&
+                r.accelerator != pros.accelerator) {
                 speedup_vs[r.accelerator].push_back(r.seconds() /
                                                     pros.seconds());
                 energy_vs[r.accelerator].push_back(

@@ -2,7 +2,9 @@
  * @file
  * Fig. 9 reproduction: ablation of Prosperity's design steps, averaged
  * over all evaluated models and normalized to the dense Eyeriss
- * baseline:
+ * baseline. Every configuration — including the ablated Prosperity
+ * variants — is expressed as a registry spec (name + params) and the
+ * whole campaign runs as one SimulationEngine batch.
  *
  *   Eyeriss (dense)                 1.00x
  *   PTB (structured bit sparsity)   2.62x
@@ -14,10 +16,7 @@
 #include <iostream>
 #include <vector>
 
-#include "analysis/runner.h"
-#include "baselines/eyeriss.h"
-#include "baselines/ptb.h"
-#include "core/prosperity_accelerator.h"
+#include "analysis/engine.h"
 #include "sim/table.h"
 
 using namespace prosperity;
@@ -25,32 +24,26 @@ using namespace prosperity;
 int
 main()
 {
-    EyerissAccelerator eyeriss;
-    PtbAccelerator ptb;
+    const std::vector<AcceleratorSpec> specs = {
+        {"eyeriss"},
+        {"ptb"},
+        {"prosperity", AcceleratorParams{{"sparsity", "bit"}}},
+        {"prosperity", AcceleratorParams{{"dispatch", "traversal"}}},
+        {"prosperity"},
+    };
 
-    Ppu::Options bit_only;
-    bit_only.sparsity = SparsityMode::kBitSparsity;
-    Ppu::Options traversal;
-    traversal.dispatch = DispatchMode::kTreeTraversal;
-    Ppu::Options overhead_free;
+    SimulationEngine engine;
+    const auto grid = engine.runGrid(specs, fig8Suite());
 
-    ProsperityAccelerator pros_bit(ProsperityConfig{}, bit_only);
-    ProsperityAccelerator pros_slow(ProsperityConfig{}, traversal);
-    ProsperityAccelerator pros_fast(ProsperityConfig{}, overhead_free);
-
-    const std::vector<Accelerator*> accels = {
-        &eyeriss, &ptb, &pros_bit, &pros_slow, &pros_fast};
-
-    std::vector<std::vector<double>> speedups(accels.size());
-    for (const Workload& w : fig8Suite()) {
-        const auto results = runWorkloadOnAll(accels, w);
-        const double base = results[0].seconds();
+    std::vector<std::vector<double>> speedups(specs.size());
+    for (const auto& results : grid) {
+        const double base = results.front().seconds();
         for (std::size_t i = 0; i < results.size(); ++i)
             speedups[i].push_back(base / results[i].seconds());
     }
 
-    std::vector<double> geo(accels.size());
-    for (std::size_t i = 0; i < accels.size(); ++i)
+    std::vector<double> geo(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
         geo[i] = geometricMean(speedups[i]);
 
     const char* labels[] = {
@@ -68,7 +61,7 @@ main()
     table.setHeader({"configuration", "speedup", "(paper)",
                      "step vs previous", "(paper step)"});
     const char* paper_step[] = {"-", "2.62x", "2.28x", "2.16x", "1.49x"};
-    for (std::size_t i = 0; i < accels.size(); ++i) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
         const double step = i == 0 ? 1.0 : geo[i] / geo[i - 1];
         table.addRow({labels[i], Table::ratio(geo[i]), paper[i],
                       i == 0 ? "-" : Table::ratio(step),

@@ -5,29 +5,36 @@
  * independent ProSparsity-forest nodes per cycle — and inter-PPU
  * parallelism — distributing tiles across several PPUs. This bench
  * quantifies both on representative workloads, including where the
- * shared DRAM channel caps the scaling.
+ * shared DRAM channel caps the scaling. Every design point is a
+ * registry spec ("prosperity" + params), simulated through a shared
+ * SimulationEngine whose memoization dedupes the repeated baselines.
  */
 
 #include <iostream>
 
-#include "analysis/runner.h"
+#include "analysis/engine.h"
 #include "arch/area_model.h"
-#include "core/prosperity_accelerator.h"
 #include "sim/table.h"
 
 using namespace prosperity;
 
 namespace {
 
+AcceleratorSpec
+prosperitySpec(std::size_t issue_width, std::size_t num_ppus)
+{
+    AcceleratorParams params;
+    params.set("issue_width", issue_width);
+    params.set("num_ppus", num_ppus);
+    params.set("max_sampled_tiles", std::size_t{48});
+    return {"prosperity", params};
+}
+
 double
-workloadSeconds(const ProsperityConfig& config, std::size_t issue_width,
+workloadSeconds(SimulationEngine& engine, const AcceleratorSpec& spec,
                 const Workload& w)
 {
-    Ppu::Options options;
-    options.issue_width = issue_width;
-    options.max_sampled_tiles = 48;
-    ProsperityAccelerator accel(config, options);
-    return runWorkload(accel, w).seconds();
+    return engine.run(SimulationJob{spec, w, {}}).seconds();
 }
 
 } // namespace
@@ -39,6 +46,7 @@ main()
         makeWorkload(ModelId::kVgg16, DatasetId::kCifar100),
         makeWorkload(ModelId::kSpikeBert, DatasetId::kSst2),
     };
+    SimulationEngine engine;
 
     {
         Table table("Sec. VIII-A — intra-PPU parallelism (issue width)");
@@ -46,11 +54,11 @@ main()
                          "w=8 speedup"});
         for (const Workload& w : workloads) {
             const double base =
-                workloadSeconds(ProsperityConfig{}, 1, w);
+                workloadSeconds(engine, prosperitySpec(1, 1), w);
             std::vector<std::string> row = {w.name(), "1.00x"};
             for (std::size_t width : {2u, 4u, 8u}) {
                 const double s =
-                    workloadSeconds(ProsperityConfig{}, width, w);
+                    workloadSeconds(engine, prosperitySpec(width, 1), w);
                 row.push_back(Table::ratio(base / s));
             }
             table.addRow(row);
@@ -67,14 +75,15 @@ main()
                          "8 PPUs", "area 8 PPUs (mm^2)"});
         for (const Workload& w : workloads) {
             const double base =
-                workloadSeconds(ProsperityConfig{}, 1, w);
+                workloadSeconds(engine, prosperitySpec(1, 1), w);
             std::vector<std::string> row = {w.name(), "1.00x"};
-            ProsperityConfig config;
             for (std::size_t ppus : {2u, 4u, 8u}) {
-                config.num_ppus = ppus;
-                const double s = workloadSeconds(config, 1, w);
+                const double s =
+                    workloadSeconds(engine, prosperitySpec(1, ppus), w);
                 row.push_back(Table::ratio(base / s));
             }
+            ProsperityConfig config;
+            config.num_ppus = 8;
             row.push_back(
                 Table::num(AreaModel(config).area().total(), 3));
             table.addRow(row);

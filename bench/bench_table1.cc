@@ -8,11 +8,8 @@
 #include <iostream>
 
 #include "analysis/density.h"
-#include "analysis/runner.h"
-#include "baselines/eyeriss.h"
-#include "baselines/ptb.h"
+#include "analysis/engine.h"
 #include "baselines/stellar.h"
-#include "core/prosperity_accelerator.h"
 #include "sim/table.h"
 
 using namespace prosperity;
@@ -31,13 +28,10 @@ main()
     const double pro_density = density.productDensity();
 
     // Speedups over the dense baseline.
-    EyerissAccelerator eyeriss;
-    PtbAccelerator ptb;
-    StellarAccelerator stellar;
-    ProsperityAccelerator prosperity;
-    const std::vector<Accelerator*> accels = {&eyeriss, &ptb, &stellar,
-                                              &prosperity};
-    const auto results = runWorkloadOnAll(accels, w);
+    const std::vector<AcceleratorSpec> specs = {
+        {"eyeriss"}, {"ptb"}, {"stellar"}, {"prosperity"}};
+    SimulationEngine engine;
+    const auto results = engine.runGrid(specs, {w}).front();
     const double dense_s = results[0].seconds();
 
     Table table("Table I — comparison with previous work on VGG-16 "

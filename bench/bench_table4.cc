@@ -2,18 +2,15 @@
  * @file
  * Table IV reproduction: accelerator comparison on VGG-16/CIFAR100 —
  * PEs, area, throughput (GOP/s), energy efficiency (GOP/J) and area
- * efficiency (GOP/s/mm^2), with ratios normalized to Eyeriss.
+ * efficiency (GOP/s/mm^2), with ratios normalized to Eyeriss. Designs
+ * are constructed by name through the AcceleratorRegistry and the
+ * comparison runs as one SimulationEngine batch.
  */
 
 #include <iostream>
+#include <vector>
 
-#include "analysis/runner.h"
-#include "baselines/eyeriss.h"
-#include "baselines/mint.h"
-#include "baselines/ptb.h"
-#include "baselines/sato.h"
-#include "baselines/stellar.h"
-#include "core/prosperity_accelerator.h"
+#include "analysis/engine.h"
 #include "sim/table.h"
 
 using namespace prosperity;
@@ -23,16 +20,13 @@ main()
 {
     const Workload w = makeWorkload(ModelId::kVgg16, DatasetId::kCifar100);
 
-    EyerissAccelerator eyeriss;
-    SatoAccelerator sato;
-    PtbAccelerator ptb;
-    MintAccelerator mint;
-    StellarAccelerator stellar;
-    ProsperityAccelerator prosperity;
-    const std::vector<Accelerator*> accels = {&eyeriss, &sato, &ptb,
-                                              &mint, &stellar,
-                                              &prosperity};
-    const auto results = runWorkloadOnAll(accels, w);
+    const std::vector<AcceleratorSpec> specs = {
+        {"eyeriss"}, {"sato"}, {"ptb"},
+        {"mint"},    {"stellar"}, {"prosperity"},
+    };
+
+    SimulationEngine engine;
+    const auto results = engine.runGrid(specs, {w}).front();
 
     // Paper reference values (Table IV): GOP/s, GOP/J.
     const char* paper_gops[] = {"29.40", "33.63", "41.37",
@@ -48,16 +42,21 @@ main()
     table.setHeader({"design", "PEs", "area mm^2", "GOP/s", "(paper)",
                      "vs Eyeriss", "GOP/J", "(paper)", "vs Eyeriss",
                      "GOP/s/mm^2"});
-    for (std::size_t i = 0; i < accels.size(); ++i) {
+    const AcceleratorRegistry& registry = AcceleratorRegistry::instance();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
         const RunResult& r = results[i];
+        // Static design properties come from a registry-built instance
+        // of the same spec the run used.
+        const auto design = registry.create(specs[i].name,
+                                            specs[i].params);
         table.addRow({r.accelerator,
-                      std::to_string(accels[i]->numPes()),
-                      Table::num(accels[i]->areaMm2(), 3),
+                      std::to_string(design->numPes()),
+                      Table::num(design->areaMm2(), 3),
                       Table::num(r.gops()), paper_gops[i],
                       Table::ratio(r.gops() / base_gops),
                       Table::num(r.gopj()), paper_gopj[i],
                       Table::ratio(r.gopj() / base_gopj),
-                      Table::num(r.gops() / accels[i]->areaMm2(), 1)});
+                      Table::num(r.gops() / design->areaMm2(), 1)});
     }
     table.print(std::cout);
 

@@ -9,9 +9,7 @@
 #include <iostream>
 
 #include "analysis/runner.h"
-#include "baselines/eyeriss.h"
-#include "baselines/ptb.h"
-#include "core/prosperity_accelerator.h"
+#include "arch/registry.h"
 #include "gen/spike_generator.h"
 #include "sim/table.h"
 
@@ -80,19 +78,26 @@ main()
               << model.totalDenseOps() / 1e6 << " M dense MACs, "
               << model.numSpikingGemms() << " spiking GeMMs\n\n";
 
-    // Evaluate layer by layer on three designs.
-    EyerissAccelerator eyeriss;
-    PtbAccelerator ptb(model.time_steps);
-    ProsperityAccelerator prosperity;
-    Accelerator* accels[] = {&eyeriss, &ptb, &prosperity};
+    // Evaluate layer by layer on three registry-built designs. Telling
+    // each design about the model first (beginModel) is what hands
+    // time-batching designs like PTB the model's T.
+    const AcceleratorRegistry& registry = AcceleratorRegistry::instance();
+    std::unique_ptr<Accelerator> accels[] = {
+        registry.create("eyeriss"),
+        registry.create("ptb"),
+        registry.create("prosperity"),
+    };
+    ModelHints hints;
+    hints.time_steps = model.time_steps;
+    for (auto& accel : accels)
+        accel->beginModel(hints);
 
     const SpikeGenerator gen(profile, 7);
     Table table("KWSNet layer latency (cycles @500 MHz)");
     table.setHeader({"layer", "shape MxKxN", "Eyeriss", "PTB",
                      "Prosperity"});
 
-    double totals[3] = {0, 0, 0};
-    EnergyModel energies[3];
+    LayerResult totals[3];
     std::size_t layer_index = 0;
     for (const auto& layer : model.layers) {
         ++layer_index;
@@ -106,26 +111,27 @@ main()
             layer.isSpikingGemm()
                 ? gen.generateLayer(layer, layer_index)
                 : BitMatrix();
+        const LayerRequest request = layerRequestFor(
+            layer, layer.isSpikingGemm() ? &spikes : nullptr);
         for (int a = 0; a < 3; ++a) {
-            const double cycles =
-                layer.isSpikingGemm()
-                    ? accels[a]->runSpikingGemm(layer.gemm, spikes,
-                                                energies[a])
-                    : accels[a]->runDenseGemm(layer.gemm, energies[a]);
-            totals[a] += cycles;
-            row.push_back(Table::num(cycles, 0));
+            const LayerResult result = accels[a]->runLayer(request);
+            totals[a] += result;
+            row.push_back(Table::num(result.cycles, 0));
         }
         table.addRow(row);
     }
-    table.addRow({"TOTAL", "", Table::num(totals[0], 0),
-                  Table::num(totals[1], 0), Table::num(totals[2], 0)});
+    table.addRow({"TOTAL", "", Table::num(totals[0].cycles, 0),
+                  Table::num(totals[1].cycles, 0),
+                  Table::num(totals[2].cycles, 0)});
     table.print(std::cout);
 
     std::cout << "\nProsperity speedup on your model: "
-              << Table::ratio(totals[0] / totals[2]) << " vs dense, "
-              << Table::ratio(totals[1] / totals[2]) << " vs PTB\n"
+              << Table::ratio(totals[0].cycles / totals[2].cycles)
+              << " vs dense, "
+              << Table::ratio(totals[1].cycles / totals[2].cycles)
+              << " vs PTB\n"
               << "Energy: "
-              << energies[2].totalPj() / 1e6 << " uJ (Prosperity) vs "
-              << energies[0].totalPj() / 1e6 << " uJ (Eyeriss)\n";
+              << totals[2].totalPj() / 1e6 << " uJ (Prosperity) vs "
+              << totals[0].totalPj() / 1e6 << " uJ (Eyeriss)\n";
     return 0;
 }

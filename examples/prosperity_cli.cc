@@ -4,12 +4,16 @@
  * of the original artifact's run scripts.
  *
  *   prosperity_cli list
- *       Show every model, dataset, and accelerator name.
+ *       Show every model, dataset, and registered accelerator.
  *   prosperity_cli run <model> <dataset> [accelerator] [--csv]
  *       End-to-end simulation; default accelerator "all" compares the
  *       full lineup. --csv prints machine-readable rows.
  *   prosperity_cli density <model> <dataset> [--two-prefix]
  *       Sparsity analysis of the workload.
+ *
+ * Accelerators are constructed by name through the
+ * AcceleratorRegistry and simulated through the SimulationEngine, so
+ * "all" runs the whole lineup across the machine's cores.
  *
  * Examples:
  *   prosperity_cli run VGG16 CIFAR100
@@ -19,20 +23,13 @@
 
 #include <cstring>
 #include <iostream>
-#include <memory>
 #include <optional>
 #include <vector>
 
 #include "analysis/density.h"
+#include "analysis/engine.h"
 #include "analysis/export.h"
-#include "analysis/runner.h"
-#include "baselines/a100.h"
-#include "baselines/eyeriss.h"
-#include "baselines/mint.h"
-#include "baselines/ptb.h"
-#include "baselines/sato.h"
-#include "baselines/stellar.h"
-#include "core/prosperity_accelerator.h"
+#include "arch/registry.h"
 #include "sim/table.h"
 
 using namespace prosperity;
@@ -50,6 +47,10 @@ const DatasetId kDatasets[] = {
     DatasetId::kMr,      DatasetId::kQqp,      DatasetId::kMnli,
 };
 
+/** Comparison lineup of `run ... all`, Fig. 8 column order. */
+const char* kLineup[] = {"eyeriss", "ptb",  "sato",       "mint",
+                         "stellar", "a100", "prosperity"};
+
 std::optional<ModelId>
 parseModel(const std::string& name)
 {
@@ -66,26 +67,6 @@ parseDataset(const std::string& name)
         if (name == datasetName(id))
             return id;
     return std::nullopt;
-}
-
-std::unique_ptr<Accelerator>
-makeAccelerator(const std::string& name)
-{
-    if (name == "Prosperity")
-        return std::make_unique<ProsperityAccelerator>();
-    if (name == "Eyeriss")
-        return std::make_unique<EyerissAccelerator>();
-    if (name == "PTB")
-        return std::make_unique<PtbAccelerator>();
-    if (name == "SATO")
-        return std::make_unique<SatoAccelerator>();
-    if (name == "MINT")
-        return std::make_unique<MintAccelerator>();
-    if (name == "Stellar")
-        return std::make_unique<StellarAccelerator>();
-    if (name == "A100")
-        return std::make_unique<A100Accelerator>();
-    return nullptr;
 }
 
 int
@@ -109,33 +90,33 @@ cmdList()
     std::cout << "\ndatasets:";
     for (DatasetId id : kDatasets)
         std::cout << ' ' << datasetName(id);
-    std::cout << "\naccelerators: Prosperity Eyeriss PTB SATO MINT "
-                 "Stellar A100\n";
+    std::cout << "\naccelerators:";
+    const AcceleratorRegistry& registry = AcceleratorRegistry::instance();
+    for (const std::string& name : registry.names())
+        std::cout << ' ' << name;
+    std::cout << '\n';
+    for (const std::string& name : registry.names())
+        std::cout << "  " << name << ": " << registry.description(name)
+                  << '\n';
     return 0;
 }
 
 int
 cmdRun(const Workload& workload, const std::string& accel_name, bool csv)
 {
-    std::vector<std::unique_ptr<Accelerator>> owned;
-    std::vector<Accelerator*> accels;
+    std::vector<AcceleratorSpec> specs;
     if (accel_name == "all") {
-        for (const char* name : {"Eyeriss", "PTB", "SATO", "MINT",
-                                 "Stellar", "A100", "Prosperity"}) {
-            owned.push_back(makeAccelerator(name));
-            accels.push_back(owned.back().get());
-        }
+        for (const char* name : kLineup)
+            specs.emplace_back(name);
+    } else if (AcceleratorRegistry::instance().contains(accel_name)) {
+        specs.emplace_back(accel_name);
     } else {
-        auto accel = makeAccelerator(accel_name);
-        if (!accel) {
-            std::cerr << "unknown accelerator: " << accel_name << '\n';
-            return usage();
-        }
-        owned.push_back(std::move(accel));
-        accels.push_back(owned.back().get());
+        std::cerr << "unknown accelerator: " << accel_name << '\n';
+        return usage();
     }
 
-    const auto results = runWorkloadOnAll(accels, workload);
+    SimulationEngine engine;
+    const auto results = engine.runGrid(specs, {workload}).front();
     if (csv) {
         exportRunResults(std::cout, results);
         return 0;

@@ -12,10 +12,7 @@
 #include <iostream>
 #include <vector>
 
-#include "analysis/runner.h"
-#include "baselines/a100.h"
-#include "baselines/ptb.h"
-#include "core/prosperity_accelerator.h"
+#include "analysis/engine.h"
 #include "sim/table.h"
 
 using namespace prosperity;
@@ -23,18 +20,19 @@ using namespace prosperity;
 int
 main()
 {
-    const Workload workloads[] = {
+    const std::vector<Workload> workloads = {
         makeWorkload(ModelId::kSpikeBert, DatasetId::kSst2),
         makeWorkload(ModelId::kSpikformer, DatasetId::kCifar10),
     };
 
-    for (const Workload& w : workloads) {
-        PtbAccelerator ptb;
-        A100Accelerator a100;
-        ProsperityAccelerator prosperity;
-        const std::vector<Accelerator*> accels = {&ptb, &a100,
-                                                  &prosperity};
-        const auto results = runWorkloadOnAll(accels, w);
+    const std::vector<AcceleratorSpec> specs = {
+        {"ptb"}, {"a100"}, {"prosperity"}};
+    SimulationEngine engine;
+    const auto grid = engine.runGrid(specs, workloads);
+
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Workload& w = workloads[wi];
+        const std::vector<RunResult>& results = grid[wi];
 
         Table table("Spiking transformer inference: " + w.name());
         table.setHeader({"accelerator", "latency (ms)", "energy (mJ)",

@@ -1,0 +1,250 @@
+#include "engine.h"
+
+#include <atomic>
+#include <exception>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace prosperity {
+
+SimulationEngine::SimulationEngine(EngineOptions options)
+    : options_(options)
+{
+    if (options_.threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        options_.threads = hw == 0 ? 1 : hw;
+    }
+}
+
+namespace {
+
+/**
+ * Canonical identity of the (workload, options) half of a job. Jobs
+ * sharing it can be simulated as one runWorkloadOnAll group, so each
+ * layer's spike matrix is generated once for the whole lineup.
+ */
+std::string
+workloadKey(const SimulationJob& job)
+{
+    // The workload name covers (model, dataset); the profile fields
+    // cover user-customized activation statistics on top of it.
+    std::ostringstream os;
+    os.precision(17);
+    const ActivationProfile& p = job.workload.profile;
+    os << job.workload.name() << '|' << p.bit_density << ','
+       << p.cluster_fraction << ',' << p.bank_size << ','
+       << p.subset_drop_prob << ',' << p.temporal_repeat << ','
+       << p.union_prob << ',' << p.noise_insert_prob << '|'
+       << job.options.seed << '|' << job.options.keep_layer_records;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+SimulationEngine::jobKey(const SimulationJob& job)
+{
+    // The registry resolves names case-insensitively; normalize so
+    // "PTB" and "ptb" dedupe and memoize as the same design.
+    return AcceleratorRegistry::canonicalName(job.accelerator.name) +
+           '{' +
+           job.accelerator.params.fingerprint() + '}' + '|' +
+           workloadKey(job);
+}
+
+RunResult
+SimulationEngine::run(const SimulationJob& job)
+{
+    return runBatch({job}).front();
+}
+
+std::vector<RunResult>
+SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
+{
+    AcceleratorRegistry& registry = AcceleratorRegistry::instance();
+    // Validate every design point up front so a typo fails fast instead
+    // of surfacing from a worker thread mid-batch.
+    for (const SimulationJob& job : jobs)
+        if (!registry.contains(job.accelerator.name))
+            registry.create(job.accelerator.name); // throws with details
+
+    // Dedupe: one simulation per distinct key, in first-seen order.
+    // Cache hits are snapshotted here so a concurrent clearCache()
+    // cannot invalidate them before assembly.
+    constexpr std::size_t kCached = static_cast<std::size_t>(-1);
+    std::vector<std::string> keys(jobs.size());
+    std::map<std::string, std::size_t> unique_index;
+    std::map<std::string, RunResult> snapshot; // cache hits, this batch
+    std::vector<const SimulationJob*> pending;  // jobs to simulate
+    std::vector<std::string> pending_keys;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        keys[i] = jobKey(jobs[i]);
+        if (unique_index.count(keys[i]))
+            continue;
+        if (options_.memoize) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = cache_.find(keys[i]);
+            if (it != cache_.end()) {
+                snapshot.emplace(keys[i], it->second);
+                unique_index.emplace(keys[i], kCached);
+                continue;
+            }
+        }
+        unique_index.emplace(keys[i], pending.size());
+        pending.push_back(&jobs[i]);
+        pending_keys.push_back(keys[i]);
+    }
+
+    // Group pending jobs that share a workload + options so each
+    // layer's spike matrix is generated once per group and fed to the
+    // whole lineup (the legacy runWorkloadOnAll optimization).
+    std::map<std::string, std::size_t> group_of;
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        const std::string wkey = workloadKey(*pending[i]);
+        const auto [it, inserted] = group_of.emplace(wkey, groups.size());
+        if (inserted)
+            groups.emplace_back();
+        groups[it->second].push_back(i);
+    }
+
+    // While workers would otherwise idle, split the largest group in
+    // half (each half keeps shared generation): a single-workload
+    // lineup still spreads across cores. The split rule is a pure
+    // function of the group sizes, so it cannot affect results.
+    while (!groups.empty() && groups.size() < options_.threads) {
+        std::size_t largest = 0;
+        for (std::size_t g = 1; g < groups.size(); ++g)
+            if (groups[g].size() > groups[largest].size())
+                largest = g;
+        if (groups[largest].size() <= 1)
+            break;
+        std::vector<std::size_t>& src = groups[largest];
+        const std::size_t half = src.size() / 2;
+        groups.emplace_back(src.begin() + static_cast<std::ptrdiff_t>(
+                                              src.size() - half),
+                            src.end());
+        src.resize(src.size() - half);
+    }
+
+    // Simulate group by group across the pool. Each worker claims the
+    // next un-started group and writes to its jobs' own slots, so the
+    // computed values cannot depend on scheduling.
+    std::vector<RunResult> computed(pending.size());
+    auto simulate = [&](std::size_t group_idx) {
+        const std::vector<std::size_t>& group = groups[group_idx];
+        std::vector<std::unique_ptr<Accelerator>> owned;
+        std::vector<Accelerator*> lineup;
+        owned.reserve(group.size());
+        lineup.reserve(group.size());
+        for (const std::size_t idx : group) {
+            const SimulationJob& job = *pending[idx];
+            owned.push_back(registry.create(job.accelerator.name,
+                                            job.accelerator.params));
+            lineup.push_back(owned.back().get());
+        }
+        const SimulationJob& lead = *pending[group.front()];
+        std::vector<RunResult> results =
+            runWorkloadOnAll(lineup, lead.workload, lead.options);
+        for (std::size_t k = 0; k < group.size(); ++k)
+            computed[group[k]] = std::move(results[k]);
+    };
+
+    const std::size_t workers = std::min(options_.threads, groups.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < groups.size(); ++i)
+            simulate(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::exception_ptr first_error;
+        std::mutex error_mutex;
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&] {
+                for (;;) {
+                    const std::size_t idx =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (idx >= groups.size())
+                        return;
+                    try {
+                        simulate(idx);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(error_mutex);
+                        if (!first_error)
+                            first_error = std::current_exception();
+                    }
+                }
+            });
+        }
+        for (std::thread& t : pool)
+            t.join();
+        if (first_error)
+            std::rethrow_exception(first_error);
+    }
+
+    // Publish new results, then assemble in job order.
+    std::vector<RunResult> results(jobs.size());
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            if (options_.memoize)
+                cache_.emplace(pending_keys[i], computed[i]);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const std::size_t slot = unique_index.at(keys[i]);
+            if (slot == kCached) {
+                results[i] = snapshot.at(keys[i]);
+                ++cache_hits_;
+            } else {
+                results[i] = computed[slot];
+            }
+        }
+    }
+    return results;
+}
+
+std::vector<std::vector<RunResult>>
+SimulationEngine::runGrid(const std::vector<AcceleratorSpec>& accelerators,
+                          const std::vector<Workload>& workloads,
+                          const RunOptions& options)
+{
+    std::vector<SimulationJob> jobs;
+    jobs.reserve(accelerators.size() * workloads.size());
+    for (const Workload& workload : workloads)
+        for (const AcceleratorSpec& spec : accelerators)
+            jobs.push_back(SimulationJob{spec, workload, options});
+
+    const std::vector<RunResult> flat = runBatch(jobs);
+    std::vector<std::vector<RunResult>> grid(workloads.size());
+    for (std::size_t w = 0; w < workloads.size(); ++w)
+        grid[w].assign(
+            flat.begin() + static_cast<std::ptrdiff_t>(
+                               w * accelerators.size()),
+            flat.begin() + static_cast<std::ptrdiff_t>(
+                               (w + 1) * accelerators.size()));
+    return grid;
+}
+
+std::size_t
+SimulationEngine::cacheSize() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+std::size_t
+SimulationEngine::cacheHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_hits_;
+}
+
+void
+SimulationEngine::clearCache()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+} // namespace prosperity

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Session-based simulation engine: whole-campaign simulation as a
+ * first-class operation.
+ *
+ * A SimulationJob names an accelerator (registry name + params) and a
+ * workload; the engine executes batches of jobs across a std::thread
+ * pool and memoizes per-(accelerator config, workload, options)
+ * results. Jobs sharing a (workload, options) pair are grouped so each
+ * layer's spike matrix is generated once for the whole lineup. Because
+ * every job builds its own accelerator through the AcceleratorRegistry
+ * and the layer API returns results by value, jobs share no mutable
+ * state — results are bitwise identical whatever the thread count, and
+ * batch order in equals result order out.
+ *
+ * The Fig. 8 / Fig. 9 / Table IV benches and the CLI are thin loops
+ * over this engine.
+ */
+
+#ifndef PROSPERITY_ANALYSIS_ENGINE_H
+#define PROSPERITY_ANALYSIS_ENGINE_H
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/runner.h"
+#include "arch/registry.h"
+#include "snn/workload.h"
+
+namespace prosperity {
+
+/** A design point: registry name plus factory parameters. */
+struct AcceleratorSpec
+{
+    std::string name;          ///< AcceleratorRegistry name
+    AcceleratorParams params;  ///< per-design knobs (may be empty)
+
+    AcceleratorSpec() = default;
+    AcceleratorSpec(std::string n) : name(std::move(n)) {} // NOLINT
+    AcceleratorSpec(std::string n, AcceleratorParams p)
+        : name(std::move(n)), params(std::move(p))
+    {
+    }
+};
+
+/** One unit of simulation work: a design point on a workload. */
+struct SimulationJob
+{
+    AcceleratorSpec accelerator;
+    Workload workload;
+    RunOptions options;
+};
+
+/** Engine configuration. */
+struct EngineOptions
+{
+    /** Worker threads for batch runs; 0 = hardware concurrency. */
+    std::size_t threads = 0;
+
+    /** Cache results keyed by (accelerator spec, workload, options). */
+    bool memoize = true;
+};
+
+/**
+ * Executes batches of simulation jobs in parallel with deterministic
+ * result ordering and cross-batch memoization. Thread-safe: a single
+ * engine may be shared, and its cache persists across runBatch calls.
+ */
+class SimulationEngine
+{
+  public:
+    explicit SimulationEngine(EngineOptions options = {});
+
+    /** Run a single job (memoized like any batch member). */
+    RunResult run(const SimulationJob& job);
+
+    /**
+     * Run all jobs, using up to EngineOptions::threads workers.
+     * results[i] always corresponds to jobs[i]; duplicate jobs are
+     * simulated once. Throws std::invalid_argument before starting any
+     * work if a job names an unregistered accelerator.
+     */
+    std::vector<RunResult> runBatch(const std::vector<SimulationJob>& jobs);
+
+    /**
+     * Cross-product convenience: returns one row per workload, one
+     * column per accelerator spec, all simulated as a single batch.
+     */
+    std::vector<std::vector<RunResult>> runGrid(
+        const std::vector<AcceleratorSpec>& accelerators,
+        const std::vector<Workload>& workloads,
+        const RunOptions& options = {});
+
+    /** Number of memoized results currently held. */
+    std::size_t cacheSize() const;
+
+    /** Jobs served from the cache since construction. */
+    std::size_t cacheHits() const;
+
+    void clearCache();
+
+  private:
+    /** Canonical memoization key of a job. */
+    static std::string jobKey(const SimulationJob& job);
+
+    EngineOptions options_;
+    mutable std::mutex mutex_;
+    std::map<std::string, RunResult> cache_;
+    std::size_t cache_hits_ = 0;
+};
+
+} // namespace prosperity
+
+#endif // PROSPERITY_ANALYSIS_ENGINE_H

@@ -48,13 +48,15 @@ exportRunResults(std::ostream& os, const std::vector<RunResult>& results)
 {
     CsvWriter csv(os);
     csv.writeRow({"workload", "accelerator", "cycles", "seconds",
-                  "gops", "gopj", "energy_pj", "avg_power_w"});
+                  "gops", "gopj", "energy_pj", "avg_power_w",
+                  "dram_bytes"});
     for (const RunResult& r : results) {
         csv.writeRow({r.workload, r.accelerator, CsvWriter::cell(r.cycles),
                       CsvWriter::cell(r.seconds()),
                       CsvWriter::cell(r.gops()), CsvWriter::cell(r.gopj()),
                       CsvWriter::cell(r.energy.totalPj()),
-                      CsvWriter::cell(r.averagePowerW())});
+                      CsvWriter::cell(r.averagePowerW()),
+                      CsvWriter::cell(r.dram_bytes)});
     }
 }
 

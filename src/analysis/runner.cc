@@ -8,6 +8,54 @@
 
 namespace prosperity {
 
+namespace {
+
+ModelHints
+hintsFor(const ModelSpec& model)
+{
+    ModelHints hints;
+    hints.time_steps = model.time_steps;
+    return hints;
+}
+
+/** Run one layer on one accelerator and fold it into `result`. */
+void
+accumulateLayer(Accelerator& accel, const LayerSpec& layer,
+                const BitMatrix* spikes, const RunOptions& options,
+                RunResult& result)
+{
+    const LayerRequest request = layerRequestFor(layer, spikes);
+    const LayerResult lr = accel.runLayer(request);
+    result.cycles += lr.cycles;
+    result.dense_macs += lr.dense_macs;
+    result.dram_bytes += lr.dram_bytes;
+    result.energy.merge(lr.energy);
+    if (options.keep_layer_records)
+        result.layers.push_back(
+            LayerRunRecord{layer.name, lr.cycles, layer.denseOps()});
+}
+
+} // namespace
+
+LayerRequest
+layerRequestFor(const LayerSpec& layer, const BitMatrix* spikes)
+{
+    LayerRequest request;
+    if (layer.isSpikingGemm()) {
+        PROSPERITY_ASSERT(spikes != nullptr,
+                          "spiking layer needs its spike matrix");
+        request = LayerRequest::spikingGemm(layer.gemm, *spikes);
+        // Output currents feed the spiking neuron array.
+        request.lif_updates = static_cast<double>(layer.gemm.m) *
+                              static_cast<double>(layer.gemm.n);
+    } else if (layer.gemm.m > 0) {
+        // Direct-coded (non-spiking) GeMM, e.g. the first conv.
+        request = LayerRequest::denseGemm(layer.gemm);
+    }
+    request.sfu_ops = layer.sfu_ops;
+    return request;
+}
+
 RunResult
 runWorkload(Accelerator& accel, const Workload& workload,
             const RunOptions& options)
@@ -20,37 +68,17 @@ runWorkload(Accelerator& accel, const Workload& workload,
     result.workload = workload.name();
     result.tech = accel.tech();
 
-    ModelHints hints;
-    hints.time_steps = model.time_steps;
-    accel.beginModel(hints);
+    accel.beginModel(hintsFor(model));
 
     std::size_t layer_index = 0;
     for (const auto& layer : model.layers) {
         ++layer_index;
-        double cycles = 0.0;
-
-        if (layer.isSpikingGemm()) {
-            const BitMatrix spikes = gen.generateLayer(layer, layer_index);
-            cycles = accel.runSpikingGemm(layer.gemm, spikes,
-                                          result.energy);
-            result.dense_macs += layer.denseOps();
-            // Output currents feed the spiking neuron array.
-            accel.runLif(static_cast<double>(layer.gemm.m) *
-                             static_cast<double>(layer.gemm.n),
-                         result.energy);
-        } else if (layer.gemm.m > 0) {
-            // Direct-coded (non-spiking) GeMM, e.g. the first conv.
-            cycles = accel.runDenseGemm(layer.gemm, result.energy);
-            result.dense_macs += layer.denseOps();
-        }
-        if (layer.sfu_ops > 0.0)
-            cycles += accel.runSfu(layer.sfu_ops, result.energy);
-
-        result.energy.charge("static", accel.staticPjPerCycle(), cycles);
-        result.cycles += cycles;
-        if (options.keep_layer_records)
-            result.layers.push_back(
-                LayerRunRecord{layer.name, cycles, layer.denseOps()});
+        BitMatrix spikes;
+        const bool is_spiking = layer.isSpikingGemm();
+        if (is_spiking)
+            spikes = gen.generateLayer(layer, layer_index);
+        accumulateLayer(accel, layer, is_spiking ? &spikes : nullptr,
+                        options, result);
     }
     return result;
 }
@@ -63,8 +91,7 @@ runWorkloadOnAll(const std::vector<Accelerator*>& accels,
     const SpikeGenerator gen(workload.profile, options.seed);
 
     std::vector<RunResult> results(accels.size());
-    ModelHints hints;
-    hints.time_steps = model.time_steps;
+    const ModelHints hints = hintsFor(model);
     for (std::size_t a = 0; a < accels.size(); ++a) {
         results[a].accelerator = accels[a]->name();
         results[a].workload = workload.name();
@@ -76,33 +103,14 @@ runWorkloadOnAll(const std::vector<Accelerator*>& accels,
     for (const auto& layer : model.layers) {
         ++layer_index;
         BitMatrix spikes;
-        if (layer.isSpikingGemm())
+        const bool is_spiking = layer.isSpikingGemm();
+        if (is_spiking)
             spikes = gen.generateLayer(layer, layer_index);
 
-        for (std::size_t a = 0; a < accels.size(); ++a) {
-            RunResult& result = results[a];
-            double cycles = 0.0;
-            if (layer.isSpikingGemm()) {
-                cycles = accels[a]->runSpikingGemm(layer.gemm, spikes,
-                                                   result.energy);
-                result.dense_macs += layer.denseOps();
-                accels[a]->runLif(static_cast<double>(layer.gemm.m) *
-                                      static_cast<double>(layer.gemm.n),
-                                  result.energy);
-            } else if (layer.gemm.m > 0) {
-                cycles = accels[a]->runDenseGemm(layer.gemm,
-                                                 result.energy);
-                result.dense_macs += layer.denseOps();
-            }
-            if (layer.sfu_ops > 0.0)
-                cycles += accels[a]->runSfu(layer.sfu_ops, result.energy);
-            result.energy.charge("static", accels[a]->staticPjPerCycle(),
-                                 cycles);
-            result.cycles += cycles;
-            if (options.keep_layer_records)
-                result.layers.push_back(LayerRunRecord{
-                    layer.name, cycles, layer.denseOps()});
-        }
+        for (std::size_t a = 0; a < accels.size(); ++a)
+            accumulateLayer(*accels[a], layer,
+                            is_spiking ? &spikes : nullptr, options,
+                            results[a]);
     }
     return results;
 }
@@ -123,6 +131,7 @@ runWorkloadAveraged(Accelerator& accel, const Workload& workload,
             min_cycles = max_cycles = r.cycles;
         } else {
             out.mean.cycles += r.cycles;
+            out.mean.dram_bytes += r.dram_bytes;
             out.mean.energy.merge(r.energy);
             min_cycles = std::min(min_cycles, r.cycles);
             max_cycles = std::max(max_cycles, r.cycles);
@@ -130,6 +139,7 @@ runWorkloadAveraged(Accelerator& accel, const Workload& workload,
     }
     const double n = static_cast<double>(samples);
     out.mean.cycles /= n;
+    out.mean.dram_bytes /= n;
     // Scale merged energy back to a single inference.
     EnergyModel scaled;
     for (const auto& [component, pj] : out.mean.energy.breakdown())

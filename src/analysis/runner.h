@@ -34,6 +34,7 @@ struct RunResult
 
     double cycles = 0.0;
     double dense_macs = 0.0; ///< MACs of all GeMM layers (dense count)
+    double dram_bytes = 0.0; ///< total off-chip traffic (0 for the GPU)
     EnergyModel energy;
     Tech tech;
 
@@ -72,6 +73,14 @@ struct RunOptions
     std::uint64_t seed = 7;
     bool keep_layer_records = false;
 };
+
+/**
+ * Build the LayerRequest a workload layer maps to. `spikes` must be the
+ * layer's generated spike matrix for spiking-GeMM layers (it may be
+ * null for dense/SFU layers) and must outlive the returned request.
+ */
+LayerRequest layerRequestFor(const LayerSpec& layer,
+                             const BitMatrix* spikes);
 
 /** Run one workload end to end on `accel`. */
 RunResult runWorkload(Accelerator& accel, const Workload& workload,

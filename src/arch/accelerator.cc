@@ -7,8 +7,82 @@
 
 namespace prosperity {
 
+LayerRequest
+LayerRequest::spikingGemm(const GemmShape& shape, const BitMatrix& spikes)
+{
+    LayerRequest request;
+    request.kind = Kind::kSpikingGemm;
+    request.shape = shape;
+    request.spikes = &spikes;
+    return request;
+}
+
+LayerRequest
+LayerRequest::denseGemm(const GemmShape& shape)
+{
+    LayerRequest request;
+    request.kind = Kind::kDenseGemm;
+    request.shape = shape;
+    return request;
+}
+
+LayerRequest
+LayerRequest::sfu(double ops)
+{
+    LayerRequest request;
+    request.kind = Kind::kAuxiliary;
+    request.sfu_ops = ops;
+    return request;
+}
+
+LayerResult&
+LayerResult::operator+=(const LayerResult& other)
+{
+    cycles += other.cycles;
+    dense_macs += other.dense_macs;
+    dram_bytes += other.dram_bytes;
+    energy.merge(other.energy);
+    return *this;
+}
+
+LayerResult
+Accelerator::runLayer(const LayerRequest& request)
+{
+    LayerResult result;
+    EnergyModel& energy = result.energy;
+
+    layer_dram_bytes_ = 0.0;
+    switch (request.kind) {
+    case LayerRequest::Kind::kSpikingGemm:
+        PROSPERITY_ASSERT(request.spikes != nullptr,
+                          "spiking GeMM request carries no spike matrix");
+        result.cycles =
+            simulateSpikingGemm(request.shape, *request.spikes, energy);
+        result.dense_macs = request.shape.denseOps();
+        break;
+    case LayerRequest::Kind::kDenseGemm:
+        result.cycles = simulateDenseGemm(request.shape, energy);
+        result.dense_macs = request.shape.denseOps();
+        break;
+    case LayerRequest::Kind::kAuxiliary:
+        break;
+    }
+
+    if (request.lif_updates > 0.0)
+        simulateLif(request.lif_updates, energy);
+    if (request.sfu_ops > 0.0)
+        result.cycles += simulateSfu(request.sfu_ops, energy);
+
+    energy.charge("static", staticPjPerCycle(), result.cycles);
+    // Bytes noted by the hooks (chargeDramTraffic or designs' own
+    // traffic models); designs that fold memory into another budget
+    // (the A100's board power) report 0 here.
+    result.dram_bytes = layer_dram_bytes_;
+    return result;
+}
+
 double
-Accelerator::runDenseGemm(const GemmShape& shape, EnergyModel& energy)
+Accelerator::simulateDenseGemm(const GemmShape& shape, EnergyModel& energy)
 {
     const double macs = shape.denseOps();
     energy.charge("processor", energy.params().pe_mac8_pj, macs);
@@ -17,14 +91,14 @@ Accelerator::runDenseGemm(const GemmShape& shape, EnergyModel& energy)
 }
 
 double
-Accelerator::runSfu(double ops, EnergyModel& energy)
+Accelerator::simulateSfu(double ops, EnergyModel& energy)
 {
     energy.charge("other", energy.params().sfu_op_pj, ops);
     return ops / 32.0;
 }
 
 void
-Accelerator::runLif(double neuron_updates, EnergyModel& energy)
+Accelerator::simulateLif(double neuron_updates, EnergyModel& energy)
 {
     energy.charge("other", energy.params().lif_update_pj, neuron_updates);
 }
@@ -33,7 +107,7 @@ double
 Accelerator::chargeDramTraffic(const GemmShape& shape,
                                std::size_t row_tile,
                                std::size_t weight_buffer_bytes,
-                               EnergyModel& energy) const
+                               EnergyModel& energy)
 {
     // Weight-resident dataflow: weights stream once; the packed spike
     // matrix re-streams once per output-column pass when it exceeds the
@@ -57,6 +131,7 @@ Accelerator::chargeDramTraffic(const GemmShape& shape,
     const double bytes = spikes_in * spike_passes + weight_bytes +
                          spikes_out;
     energy.charge("dram", energy.params().dram_per_byte_pj, bytes);
+    noteDramBytes(bytes);
     return bytes;
 }
 

@@ -3,11 +3,18 @@
  * Common accelerator interface.
  *
  * Every modeled design — Prosperity and the baselines of Table IV /
- * Fig. 8 (Eyeriss, PTB, SATO, MINT, Stellar, A100) — implements this
- * interface: given a layer's GeMM geometry and (for spike-consuming
- * designs) the actual spike matrix, return the cycles spent and charge
- * activity to an EnergyModel. The workload runner in src/analysis
- * drives whole models through it.
+ * Fig. 8 (Eyeriss, PTB, SATO, MINT, Stellar, A100, LoAS) — implements
+ * this interface. A simulation step is a pure function: callers build a
+ * LayerRequest (GeMM geometry, the spike matrix for spike-consuming
+ * designs, SFU/LIF side work) and receive a LayerResult *by value* —
+ * cycles, an energy breakdown, and DRAM traffic. No shared mutable
+ * state crosses the call boundary, which is what lets the
+ * SimulationEngine in src/analysis run batches across threads.
+ *
+ * Design authors override the protected simulate* hooks, which charge
+ * into a request-local EnergyModel owned by runLayer(); the hooks are
+ * not callable from outside, so external code cannot reintroduce the
+ * historical mutable-EnergyModel& style.
  */
 
 #ifndef PROSPERITY_ARCH_ACCELERATOR_H
@@ -27,6 +34,55 @@ struct ModelHints
     std::size_t time_steps = 4;
 };
 
+/**
+ * One layer's worth of simulation work. Built by the workload runner
+ * (or directly by users bringing their own layers) and consumed by
+ * Accelerator::runLayer.
+ */
+struct LayerRequest
+{
+    /** What the main computation of the layer is. */
+    enum class Kind {
+        kSpikingGemm, ///< binary spike matrix x weight GeMM (needs spikes)
+        kDenseGemm,   ///< direct-coded (non-spiking) GeMM
+        kAuxiliary,   ///< no GeMM; only SFU ops and/or LIF updates
+    };
+
+    Kind kind = Kind::kAuxiliary;
+    GemmShape shape{};                ///< GeMM geometry (gemm kinds)
+    const BitMatrix* spikes = nullptr; ///< left operand (kSpikingGemm)
+    double sfu_ops = 0.0;             ///< softmax/LN elementwise ops
+    double lif_updates = 0.0;         ///< neuron-array membrane updates
+
+    /** A spiking GeMM; `spikes` must outlive the runLayer call. */
+    static LayerRequest spikingGemm(const GemmShape& shape,
+                                    const BitMatrix& spikes);
+
+    /** A dense (direct-coded) GeMM. */
+    static LayerRequest denseGemm(const GemmShape& shape);
+
+    /** SFU-only work (softmax/layer-norm layers with no GeMM). */
+    static LayerRequest sfu(double ops);
+};
+
+/**
+ * Value-typed result of simulating one LayerRequest. Accumulate layers
+ * with operator+= to form whole-model totals.
+ */
+struct LayerResult
+{
+    double cycles = 0.0;     ///< latency of the layer
+    double dense_macs = 0.0; ///< dense-equivalent MACs (paper's OP count)
+    double dram_bytes = 0.0; ///< bytes charged to the DRAM channel
+    EnergyModel energy;      ///< per-component energy of this layer
+
+    /** Total energy in picojoules. */
+    double totalPj() const { return energy.totalPj(); }
+
+    /** Accumulate another layer's cycles/MACs/bytes and merge energy. */
+    LayerResult& operator+=(const LayerResult& other);
+};
+
 /** Abstract accelerator cost model. */
 class Accelerator
 {
@@ -44,9 +100,9 @@ class Accelerator
 
     /**
      * Static + control energy per cycle (clock tree, leakage, sparsity
-     * preprocessing overheads), charged by the workload runner for
-     * every elapsed cycle. Designs that model it inside their dynamic
-     * charges (Prosperity's "other", the A100's board power) return 0.
+     * preprocessing overheads), charged by runLayer for every elapsed
+     * cycle. Designs that model it inside their dynamic charges
+     * (Prosperity's "other", the A100's board power) return 0.
      */
     virtual double staticPjPerCycle() const { return 0.0; }
 
@@ -54,46 +110,72 @@ class Accelerator
     virtual Tech tech() const { return Tech{}; }
 
     /**
-     * Called by the workload runner before a model's layers stream in;
-     * lets time-batching designs (PTB) learn the model's T.
+     * Called by the workload runner / simulation engine before a
+     * model's layers stream in; lets time-batching designs (PTB) learn
+     * the model's T. Direct runLayer users driving whole models should
+     * call this themselves first.
      */
     virtual void beginModel(const ModelHints& hints) { (void)hints; }
 
     /**
-     * Simulate one spiking GeMM of `shape` whose left operand is
-     * `spikes`; returns cycles and charges energy.
+     * Simulate one layer and return its cost as a value. Charges the
+     * main GeMM (per `request.kind`), then LIF updates, then SFU ops,
+     * then the design's static energy over the layer's cycles — the
+     * same accounting order the legacy runner used, so results are
+     * bit-identical to it. Not reentrant on one instance (designs keep
+     * per-model state); give each thread its own instance, as the
+     * SimulationEngine does.
      */
-    virtual double runSpikingGemm(const GemmShape& shape,
-                                  const BitMatrix& spikes,
-                                  EnergyModel& energy) = 0;
+    LayerResult runLayer(const LayerRequest& request);
+
+  protected:
+    /**
+     * Simulate one spiking GeMM of `shape` whose left operand is
+     * `spikes`; returns cycles and charges energy into the
+     * request-local model.
+     */
+    virtual double simulateSpikingGemm(const GemmShape& shape,
+                                       const BitMatrix& spikes,
+                                       EnergyModel& energy) = 0;
 
     /**
      * Simulate a dense (non-spiking) GeMM, e.g. the first direct-coded
      * convolution. Default: MAC-per-PE-per-cycle with 8-bit MAC energy.
      */
-    virtual double runDenseGemm(const GemmShape& shape,
-                                EnergyModel& energy);
+    virtual double simulateDenseGemm(const GemmShape& shape,
+                                     EnergyModel& energy);
 
     /**
      * Simulate `ops` special-function operations (softmax/layer norm in
      * spiking transformers). Default: 32 ops/cycle SFU.
      */
-    virtual double runSfu(double ops, EnergyModel& energy);
+    virtual double simulateSfu(double ops, EnergyModel& energy);
 
     /** Charge LIF neuron-update energy (overlapped, no cycles). */
-    virtual void runLif(double neuron_updates, EnergyModel& energy);
+    virtual void simulateLif(double neuron_updates, EnergyModel& energy);
 
-  protected:
+    /**
+     * Record off-chip traffic for the current layer; runLayer reports
+     * the sum in LayerResult::dram_bytes. chargeDramTraffic calls this
+     * itself — designs that charge DRAM energy by hand (custom traffic
+     * models) call it alongside their charge.
+     */
+    void noteDramBytes(double bytes) { layer_dram_bytes_ += bytes; }
+
     /**
      * Default DRAM traffic for one spiking GeMM: packed spikes in,
      * 8-bit weights (re-streamed once per row-tile pass when they
      * exceed `weight_buffer_bytes`), packed spikes out. Returns bytes
-     * moved and charges DRAM energy.
+     * moved, charges DRAM energy, and notes the bytes for the layer
+     * result.
      */
     double chargeDramTraffic(const GemmShape& shape,
                              std::size_t row_tile,
                              std::size_t weight_buffer_bytes,
-                             EnergyModel& energy) const;
+                             EnergyModel& energy);
+
+  private:
+    double layer_dram_bytes_ = 0.0; ///< scratch for the current layer
 };
 
 } // namespace prosperity

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "arch/registry.h"
 #include "baselines/calibration.h"
 
 namespace prosperity {
@@ -51,28 +52,41 @@ A100Accelerator::kernelCycles(const GemmShape& shape, EnergyModel& energy)
 }
 
 double
-A100Accelerator::runSpikingGemm(const GemmShape& shape,
-                                const BitMatrix& spikes,
-                                EnergyModel& energy)
+A100Accelerator::simulateSpikingGemm(const GemmShape& shape,
+                                     const BitMatrix& spikes,
+                                     EnergyModel& energy)
 {
     (void)spikes; // the GPU executes densely regardless of sparsity
     return kernelCycles(shape, energy);
 }
 
 double
-A100Accelerator::runDenseGemm(const GemmShape& shape, EnergyModel& energy)
+A100Accelerator::simulateDenseGemm(const GemmShape& shape,
+                                   EnergyModel& energy)
 {
     return kernelCycles(shape, energy);
 }
 
 double
-A100Accelerator::runSfu(double ops, EnergyModel& energy)
+A100Accelerator::simulateSfu(double ops, EnergyModel& energy)
 {
     // Elementwise kernels are bandwidth/launch bound on the GPU.
     const double total_s =
         ops / 1e12 + cal::kA100LaunchOverheadS;
     energy.charge("gpu", cal::kA100AveragePowerW * 1e12, total_s);
     return total_s * tech().frequency_hz;
+}
+
+void
+registerA100Accelerator(AcceleratorRegistry& registry)
+{
+    registry.add("a100",
+                 "NVIDIA A100 roofline running SNNs through PyTorch + "
+                 "SpikingJelly",
+                 [](const AcceleratorParams& params) {
+                     params.expectOnly({});
+                     return std::make_unique<A100Accelerator>();
+                 });
 }
 
 } // namespace prosperity

@@ -24,14 +24,16 @@ class A100Accelerator : public Accelerator
     std::size_t numPes() const override { return 6912; } // CUDA cores
     double areaMm2() const override;
 
-    double runSpikingGemm(const GemmShape& shape, const BitMatrix& spikes,
-                          EnergyModel& energy) override;
-    double runDenseGemm(const GemmShape& shape,
-                        EnergyModel& energy) override;
-    double runSfu(double ops, EnergyModel& energy) override;
-
     /** Utilization the tensor cores reach for a kernel of this shape. */
     static double utilization(const GemmShape& shape);
+
+  protected:
+    double simulateSpikingGemm(const GemmShape& shape,
+                               const BitMatrix& spikes,
+                               EnergyModel& energy) override;
+    double simulateDenseGemm(const GemmShape& shape,
+                             EnergyModel& energy) override;
+    double simulateSfu(double ops, EnergyModel& energy) override;
 
   private:
     double kernelCycles(const GemmShape& shape, EnergyModel& energy);

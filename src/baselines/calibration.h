@@ -63,6 +63,17 @@ inline constexpr double kStellarStaticPjPerCycle = 1662.0;
 inline constexpr std::size_t kStellarPes = 168;
 inline constexpr double kStellarAreaMm2 = 0.768; // Table IV
 
+// --- LoAS (dual-sparse temporal-parallel dataflow) --------------------
+/** Utilization of the scalar-add lanes under dual-side gating. */
+inline constexpr double kLoasUtilization = 0.30;
+inline constexpr double kLoasStaticPjPerCycle = 1210.0;
+inline constexpr std::size_t kLoasPes = 128;
+inline constexpr double kLoasAreaMm2 = 0.63; // not in Table IV
+/** Sparse-format index overhead on compressed weight traffic. */
+inline constexpr double kLoasWeightIndexOverhead = 1.5;
+/** Default pruned-model weight density (LoAS catalog, AlexNet/VGG). */
+inline constexpr double kLoasDefaultWeightDensity = 0.018;
+
 // --- NVIDIA A100 (PyTorch + SpikingJelly execution) -------------------
 /** Dense tensor-core peak for the 8-bit path (OPs/s, MAC = 2 OPs). */
 inline constexpr double kA100PeakOpsPerS = 312e12;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/registry.h"
 #include "baselines/calibration.h"
 
 namespace prosperity {
@@ -19,9 +20,9 @@ EyerissAccelerator::areaMm2() const
 }
 
 double
-EyerissAccelerator::runSpikingGemm(const GemmShape& shape,
-                                   const BitMatrix& spikes,
-                                   EnergyModel& energy)
+EyerissAccelerator::simulateSpikingGemm(const GemmShape& shape,
+                                        const BitMatrix& spikes,
+                                        EnergyModel& energy)
 {
     (void)spikes; // dense processing ignores the spike pattern
     const double macs = shape.denseOps();
@@ -36,6 +37,7 @@ EyerissAccelerator::runSpikingGemm(const GemmShape& shape,
         static_cast<double>(shape.m) * static_cast<double>(shape.n);
     const double dram_bytes = act_bytes + weight_bytes + out_bytes;
     energy.charge("dram", energy.params().dram_per_byte_pj, dram_bytes);
+    noteDramBytes(dram_bytes);
     energy.charge("buffer", 0.6, macs); // operand staging per MAC
 
     const double compute_cycles =
@@ -49,6 +51,18 @@ double
 EyerissAccelerator::staticPjPerCycle() const
 {
     return calibration::kEyerissStaticPjPerCycle;
+}
+
+void
+registerEyerissAccelerator(AcceleratorRegistry& registry)
+{
+    registry.add("eyeriss",
+                 "dense row-stationary DNN accelerator (Chen et al., "
+                 "JSSC 2016); the normalization baseline",
+                 [](const AcceleratorParams& params) {
+                     params.expectOnly({});
+                     return std::make_unique<EyerissAccelerator>();
+                 });
 }
 
 } // namespace prosperity

@@ -14,9 +14,12 @@
 #ifndef PROSPERITY_BASELINES_LOAS_H
 #define PROSPERITY_BASELINES_LOAS_H
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "arch/accelerator.h"
 #include "bitmatrix/bit_matrix.h"
 #include "sim/rng.h"
 
@@ -51,6 +54,39 @@ class Loas
      */
     static double dualSideOps(const BitMatrix& spikes,
                               const BitMatrix& weight_mask);
+};
+
+/**
+ * LoAS as an end-to-end accelerator model: a 128-PE fully
+ * temporal-parallel array whose compute follows the dual-side op count
+ * (spike meets surviving weight). Weight masks are drawn per GeMM
+ * geometry from a seed derived only from (k, n, weight_density), so
+ * results are reproducible regardless of layer order or threading.
+ */
+class LoasAccelerator : public Accelerator
+{
+  public:
+    /** @param weight_density surviving-weight fraction of the pruned
+     *         model (LoAS catalog: 1.8-4.0%). */
+    explicit LoasAccelerator(double weight_density = 0.018);
+
+    std::string name() const override { return "LoAS"; }
+    std::size_t numPes() const override;
+    double areaMm2() const override;
+    double staticPjPerCycle() const override;
+
+    double weightDensity() const { return weight_density_; }
+
+  protected:
+    double simulateSpikingGemm(const GemmShape& shape,
+                               const BitMatrix& spikes,
+                               EnergyModel& energy) override;
+
+  private:
+    const BitMatrix& maskFor(std::size_t k, std::size_t n);
+
+    double weight_density_;
+    std::map<std::pair<std::size_t, std::size_t>, BitMatrix> masks_;
 };
 
 } // namespace prosperity

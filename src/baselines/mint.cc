@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/registry.h"
 #include "baselines/calibration.h"
 
 namespace prosperity {
@@ -13,9 +14,9 @@ MintAccelerator::numPes() const
 }
 
 double
-MintAccelerator::runSpikingGemm(const GemmShape& shape,
-                                const BitMatrix& spikes,
-                                EnergyModel& energy)
+MintAccelerator::simulateSpikingGemm(const GemmShape& shape,
+                                     const BitMatrix& spikes,
+                                     EnergyModel& energy)
 {
     const double bit_ops = static_cast<double>(spikes.popcount()) *
                            static_cast<double>(shape.n);
@@ -34,6 +35,7 @@ MintAccelerator::runSpikingGemm(const GemmShape& shape,
         static_cast<double>(shape.m) * static_cast<double>(shape.n) / 8.0;
     const double dram_bytes = spikes_in + weight_bytes + out_bytes;
     energy.charge("dram", energy.params().dram_per_byte_pj, dram_bytes);
+    noteDramBytes(dram_bytes);
 
     const double compute_cycles =
         bit_ops / (static_cast<double>(numPes()) *
@@ -46,6 +48,19 @@ double
 MintAccelerator::staticPjPerCycle() const
 {
     return calibration::kMintStaticPjPerCycle;
+}
+
+void
+registerMintAccelerator(AcceleratorRegistry& registry)
+{
+    registry.add("mint",
+                 "SATA-style bit-sparse accelerator with 2-bit "
+                 "weight/membrane quantization (Yin et al., ASP-DAC "
+                 "2024)",
+                 [](const AcceleratorParams& params) {
+                     params.expectOnly({});
+                     return std::make_unique<MintAccelerator>();
+                 });
 }
 
 } // namespace prosperity

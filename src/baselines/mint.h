@@ -23,8 +23,10 @@ class MintAccelerator : public Accelerator
 
     double staticPjPerCycle() const override;
 
-    double runSpikingGemm(const GemmShape& shape, const BitMatrix& spikes,
-                          EnergyModel& energy) override;
+  protected:
+    double simulateSpikingGemm(const GemmShape& shape,
+                               const BitMatrix& spikes,
+                               EnergyModel& energy) override;
 };
 
 } // namespace prosperity

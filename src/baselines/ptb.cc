@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/registry.h"
 #include "baselines/calibration.h"
 #include "sim/logging.h"
 
@@ -50,8 +51,9 @@ PtbAccelerator::structuredOps(const BitMatrix& spikes,
 }
 
 double
-PtbAccelerator::runSpikingGemm(const GemmShape& shape,
-                               const BitMatrix& spikes, EnergyModel& energy)
+PtbAccelerator::simulateSpikingGemm(const GemmShape& shape,
+                                    const BitMatrix& spikes,
+                                    EnergyModel& energy)
 {
     const double ops = structuredOps(spikes, time_steps_, shape.n);
     energy.charge("processor", energy.params().pe_add8_pj, ops);
@@ -70,6 +72,19 @@ double
 PtbAccelerator::staticPjPerCycle() const
 {
     return calibration::kPtbStaticPjPerCycle;
+}
+
+void
+registerPtbAccelerator(AcceleratorRegistry& registry)
+{
+    registry.add("ptb",
+                 "parallel time batching on a systolic array (Lee et "
+                 "al., HPCA 2022); params: time_steps",
+                 [](const AcceleratorParams& params) {
+                     params.expectOnly({"time_steps"});
+                     return std::make_unique<PtbAccelerator>(
+                         params.getSize("time_steps", 4));
+                 });
 }
 
 } // namespace prosperity

@@ -37,9 +37,6 @@ class PtbAccelerator : public Accelerator
 
     double staticPjPerCycle() const override;
 
-    double runSpikingGemm(const GemmShape& shape, const BitMatrix& spikes,
-                          EnergyModel& energy) override;
-
     void beginModel(const ModelHints& hints) override
     {
         time_steps_ = hints.time_steps;
@@ -53,6 +50,12 @@ class PtbAccelerator : public Accelerator
                                 std::size_t time_steps, std::size_t n);
 
     void setTimeSteps(std::size_t t) { time_steps_ = t; }
+    std::size_t timeSteps() const { return time_steps_; }
+
+  protected:
+    double simulateSpikingGemm(const GemmShape& shape,
+                               const BitMatrix& spikes,
+                               EnergyModel& energy) override;
 
   private:
     std::size_t time_steps_;

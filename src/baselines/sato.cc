@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "arch/registry.h"
 #include "baselines/calibration.h"
 
 namespace prosperity {
@@ -45,9 +46,9 @@ SatoAccelerator::paddedOps(const BitMatrix& spikes, std::size_t batch_rows,
 }
 
 double
-SatoAccelerator::runSpikingGemm(const GemmShape& shape,
-                                const BitMatrix& spikes,
-                                EnergyModel& energy)
+SatoAccelerator::simulateSpikingGemm(const GemmShape& shape,
+                                     const BitMatrix& spikes,
+                                     EnergyModel& energy)
 {
     // Real adds performed follow the bit count; cycles follow the
     // imbalance-padded count.
@@ -72,6 +73,18 @@ double
 SatoAccelerator::staticPjPerCycle() const
 {
     return calibration::kSatoStaticPjPerCycle;
+}
+
+void
+registerSatoAccelerator(AcceleratorRegistry& registry)
+{
+    registry.add("sato",
+                 "temporal-oriented dataflow with bucket dispatch (Liu "
+                 "et al., DAC 2022)",
+                 [](const AcceleratorParams& params) {
+                     params.expectOnly({});
+                     return std::make_unique<SatoAccelerator>();
+                 });
 }
 
 } // namespace prosperity

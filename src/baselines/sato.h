@@ -24,15 +24,17 @@ class SatoAccelerator : public Accelerator
 
     double staticPjPerCycle() const override;
 
-    double runSpikingGemm(const GemmShape& shape, const BitMatrix& spikes,
-                          EnergyModel& energy) override;
-
     /**
      * Imbalance-padded ops: batches of `batch_rows` rows each cost the
      * batch's max popcount on every PE. Exposed for tests.
      */
     static double paddedOps(const BitMatrix& spikes,
                             std::size_t batch_rows, std::size_t n);
+
+  protected:
+    double simulateSpikingGemm(const GemmShape& shape,
+                               const BitMatrix& spikes,
+                               EnergyModel& energy) override;
 };
 
 } // namespace prosperity

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/registry.h"
 #include "baselines/calibration.h"
 
 namespace prosperity {
@@ -25,9 +26,9 @@ StellarAccelerator::fsDensity(double bit_density)
 }
 
 double
-StellarAccelerator::runSpikingGemm(const GemmShape& shape,
-                                   const BitMatrix& spikes,
-                                   EnergyModel& energy)
+StellarAccelerator::simulateSpikingGemm(const GemmShape& shape,
+                                        const BitMatrix& spikes,
+                                        EnergyModel& energy)
 {
     // FS recoding keeps the same matrix geometry with ~3.5x fewer
     // spikes; apply the measured ratio to the measured bit count.
@@ -53,6 +54,18 @@ double
 StellarAccelerator::staticPjPerCycle() const
 {
     return calibration::kStellarStaticPjPerCycle;
+}
+
+void
+registerStellarAccelerator(AcceleratorRegistry& registry)
+{
+    registry.add("stellar",
+                 "FS-neuron algorithm-hardware co-design, spiking CNNs "
+                 "only (Mao et al., HPCA 2024)",
+                 [](const AcceleratorParams& params) {
+                     params.expectOnly({});
+                     return std::make_unique<StellarAccelerator>();
+                 });
 }
 
 } // namespace prosperity

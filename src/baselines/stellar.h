@@ -29,11 +29,13 @@ class StellarAccelerator : public Accelerator
 
     double staticPjPerCycle() const override;
 
-    double runSpikingGemm(const GemmShape& shape, const BitMatrix& spikes,
-                          EnergyModel& energy) override;
-
     /** FS-recoded density for a given LIF bit density. */
     static double fsDensity(double bit_density);
+
+  protected:
+    double simulateSpikingGemm(const GemmShape& shape,
+                               const BitMatrix& spikes,
+                               EnergyModel& energy) override;
 };
 
 } // namespace prosperity

@@ -1,5 +1,9 @@
 #include "prosperity_accelerator.h"
 
+#include <stdexcept>
+
+#include "arch/registry.h"
+
 namespace prosperity {
 
 ProsperityAccelerator::ProsperityAccelerator(ProsperityConfig config)
@@ -30,12 +34,54 @@ ProsperityAccelerator::areaMm2() const
 }
 
 double
-ProsperityAccelerator::runSpikingGemm(const GemmShape& shape,
-                                      const BitMatrix& spikes,
-                                      EnergyModel& energy)
+ProsperityAccelerator::simulateSpikingGemm(const GemmShape& shape,
+                                           const BitMatrix& spikes,
+                                           EnergyModel& energy)
 {
     last_ = ppu_.runGemm(shape, spikes, &energy);
+    noteDramBytes(last_.dram_bytes);
     return last_.cycles;
+}
+
+void
+registerProsperityAccelerator(AcceleratorRegistry& registry)
+{
+    registry.add(
+        "prosperity",
+        "the paper's ProSparsity accelerator (Table III config); "
+        "params: sparsity=product|bit, dispatch=overhead-free|traversal, "
+        "issue_width, num_ppus, max_sampled_tiles",
+        [](const AcceleratorParams& params) {
+            params.expectOnly({"sparsity", "dispatch", "issue_width",
+                               "num_ppus", "max_sampled_tiles"});
+            ProsperityConfig config;
+            config.num_ppus = params.getSize("num_ppus", config.num_ppus);
+
+            Ppu::Options options;
+            const std::string sparsity =
+                params.getString("sparsity", "product");
+            if (sparsity == "bit")
+                options.sparsity = SparsityMode::kBitSparsity;
+            else if (sparsity != "product")
+                throw std::invalid_argument(
+                    "prosperity: unknown sparsity mode \"" + sparsity +
+                    "\" (want product|bit)");
+            const std::string dispatch =
+                params.getString("dispatch", "overhead-free");
+            if (dispatch == "traversal")
+                options.dispatch = DispatchMode::kTreeTraversal;
+            else if (dispatch != "overhead-free")
+                throw std::invalid_argument(
+                    "prosperity: unknown dispatch mode \"" + dispatch +
+                    "\" (want overhead-free|traversal)");
+            options.issue_width =
+                params.getSize("issue_width", options.issue_width);
+            options.max_sampled_tiles = params.getSize(
+                "max_sampled_tiles", options.max_sampled_tiles);
+
+            return std::make_unique<ProsperityAccelerator>(config,
+                                                           options);
+        });
 }
 
 } // namespace prosperity

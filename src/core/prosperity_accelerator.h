@@ -29,16 +29,19 @@ class ProsperityAccelerator : public Accelerator
     double areaMm2() const override;
     Tech tech() const override { return config_.tech; }
 
-    double runSpikingGemm(const GemmShape& shape, const BitMatrix& spikes,
-                          EnergyModel& energy) override;
-
     /** Last layer's detailed result (inspection/testing). */
     const PpuLayerResult& lastResult() const { return last_; }
 
     const ProsperityConfig& config() const { return config_; }
     const Ppu::Options& options() const { return ppu_.options(); }
 
+  protected:
+    double simulateSpikingGemm(const GemmShape& shape,
+                               const BitMatrix& spikes,
+                               EnergyModel& energy) override;
+
   private:
+
     ProsperityConfig config_;
     Ppu ppu_;
     PpuLayerResult last_;

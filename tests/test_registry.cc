@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the AcceleratorRegistry: every registered design
+ * round-trips through create() with properties identical to direct
+ * construction, lookup is case-insensitive, and factory parameters
+ * reach the design.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/registry.h"
+#include "baselines/a100.h"
+#include "baselines/eyeriss.h"
+#include "baselines/loas.h"
+#include "baselines/mint.h"
+#include "baselines/ptb.h"
+#include "baselines/sato.h"
+#include "baselines/stellar.h"
+#include "core/prosperity_accelerator.h"
+
+namespace prosperity {
+namespace {
+
+TEST(Registry, ListsAllEightDesigns)
+{
+    const auto names = AcceleratorRegistry::instance().names();
+    ASSERT_EQ(names.size(), 8u);
+    for (const char* expected : {"eyeriss", "ptb", "sato", "mint",
+                                 "stellar", "a100", "loas",
+                                 "prosperity"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected;
+    }
+}
+
+/** create(name) must agree with direct construction on the paper's
+ *  static design properties. */
+template <typename Direct>
+void
+expectRoundTrip(const std::string& registry_name)
+{
+    const Direct direct;
+    const auto created =
+        AcceleratorRegistry::instance().create(registry_name);
+    ASSERT_NE(created, nullptr) << registry_name;
+    EXPECT_EQ(created->name(), direct.name()) << registry_name;
+    EXPECT_EQ(created->numPes(), direct.numPes()) << registry_name;
+    EXPECT_DOUBLE_EQ(created->areaMm2(), direct.areaMm2())
+        << registry_name;
+    EXPECT_DOUBLE_EQ(created->staticPjPerCycle(),
+                     direct.staticPjPerCycle())
+        << registry_name;
+}
+
+TEST(Registry, RoundTripsEveryRegisteredName)
+{
+    expectRoundTrip<EyerissAccelerator>("eyeriss");
+    expectRoundTrip<PtbAccelerator>("ptb");
+    expectRoundTrip<SatoAccelerator>("sato");
+    expectRoundTrip<MintAccelerator>("mint");
+    expectRoundTrip<StellarAccelerator>("stellar");
+    expectRoundTrip<A100Accelerator>("a100");
+    expectRoundTrip<LoasAccelerator>("loas");
+    expectRoundTrip<ProsperityAccelerator>("prosperity");
+}
+
+TEST(Registry, LookupIsCaseInsensitive)
+{
+    AcceleratorRegistry& registry = AcceleratorRegistry::instance();
+    EXPECT_TRUE(registry.contains("Prosperity"));
+    EXPECT_TRUE(registry.contains("A100"));
+    EXPECT_TRUE(registry.contains("LoAS"));
+    EXPECT_EQ(registry.create("Eyeriss")->name(), "Eyeriss");
+    EXPECT_EQ(registry.create("PTB")->name(), "PTB");
+}
+
+TEST(Registry, UnknownNameThrowsWithRoster)
+{
+    try {
+        AcceleratorRegistry::instance().create("tpu");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("tpu"), std::string::npos);
+        EXPECT_NE(message.find("prosperity"), std::string::npos);
+    }
+}
+
+TEST(Registry, PtbTimeStepsParameterReachesTheDesign)
+{
+    const auto accel = AcceleratorRegistry::instance().create(
+        "ptb", AcceleratorParams{{"time_steps", "8"}});
+    const auto* ptb = dynamic_cast<PtbAccelerator*>(accel.get());
+    ASSERT_NE(ptb, nullptr);
+    EXPECT_EQ(ptb->timeSteps(), 8u);
+}
+
+TEST(Registry, ProsperityAblationParams)
+{
+    AcceleratorRegistry& registry = AcceleratorRegistry::instance();
+    EXPECT_EQ(registry
+                  .create("prosperity",
+                          AcceleratorParams{{"sparsity", "bit"}})
+                  ->name(),
+              "Prosperity(bit-only)");
+    EXPECT_EQ(registry
+                  .create("prosperity",
+                          AcceleratorParams{{"dispatch", "traversal"}})
+                  ->name(),
+              "Prosperity(traversal)");
+    EXPECT_THROW(registry.create(
+                     "prosperity",
+                     AcceleratorParams{{"sparsity", "banana"}}),
+                 std::invalid_argument);
+}
+
+TEST(Registry, UnknownParameterKeysAreRejected)
+{
+    AcceleratorRegistry& registry = AcceleratorRegistry::instance();
+    // Typo'd key ("num_ppu" instead of "num_ppus") must fail fast, not
+    // silently configure a default design.
+    AcceleratorParams typo;
+    typo.set("num_ppu", std::size_t{8});
+    EXPECT_THROW(registry.create("prosperity", typo),
+                 std::invalid_argument);
+    AcceleratorParams stray;
+    stray.set("time_steps", std::size_t{4});
+    EXPECT_THROW(registry.create("eyeriss", stray),
+                 std::invalid_argument);
+}
+
+TEST(Registry, LoasWeightDensityParameterReachesTheDesign)
+{
+    const auto accel = AcceleratorRegistry::instance().create(
+        "loas", AcceleratorParams{{"weight_density", "0.04"}});
+    const auto* loas = dynamic_cast<LoasAccelerator*>(accel.get());
+    ASSERT_NE(loas, nullptr);
+    EXPECT_DOUBLE_EQ(loas->weightDensity(), 0.04);
+}
+
+TEST(Registry, DuplicateRegistrationIsRejected)
+{
+    EXPECT_FALSE(AcceleratorRegistry::instance().add(
+        "Prosperity", "imposter", [](const AcceleratorParams&) {
+            return std::unique_ptr<Accelerator>{};
+        }));
+}
+
+TEST(AcceleratorParams, TypedGettersAndFingerprint)
+{
+    AcceleratorParams params;
+    params.set("beta", 2.5);
+    params.set("alpha", std::size_t{4});
+    EXPECT_DOUBLE_EQ(params.getDouble("beta", 0.0), 2.5);
+    EXPECT_EQ(params.getSize("alpha", 0), 4u);
+    EXPECT_EQ(params.getString("missing", "fallback"), "fallback");
+    EXPECT_EQ(params.fingerprint(), "alpha=4;beta=2.5");
+    const AcceleratorParams bad{{"x", "not-a-number"}};
+    EXPECT_THROW(bad.getDouble("x", 0.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace prosperity
