@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Hot-path benchmark driver: times the simulator's word-parallel
+ * kernels against their retained naive references and writes the
+ * `BENCH_hotpath.json` trajectory (schema: docs/BENCHMARKS.md).
+ *
+ * Stages timed:
+ *  - detector: naive all-pairs TCAM sweep vs the popcount-sorted,
+ *    signature-prefiltered Detector::detect, over a 256-row tile sweep
+ *    across densities (checksums must agree — verified here);
+ *  - spikegen: bit-by-bit Bernoulli fill vs the word-batched
+ *    BitVector::randomize, plus a full SpikeGenerator layer;
+ *  - forest: Pruner::prune + ProsparsityForest build;
+ *  - gemm: the functional ProductGemm multiply;
+ *  - engine: a LeNet5/MNIST end-to-end run through SimulationEngine.
+ *
+ * Usage: bench_hotpath [--quick] [--out PATH] [--reps N]
+ *   --quick  CI-smoke configuration: fewer densities, reps and tiles.
+ *   --out    output JSON path (default BENCH_hotpath.json).
+ *   --reps   override timed repetitions per case.
+ */
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/engine.h"
+#include "bench_harness.h"
+#include "core/detector.h"
+#include "core/forest.h"
+#include "core/product_gemm.h"
+#include "core/pruner.h"
+#include "gen/spike_generator.h"
+
+using namespace prosperity;
+
+namespace {
+
+/** XOR-fold a DetectionResult for cross-implementation identity. */
+std::uint64_t
+checksumDetection(const DetectionResult& r)
+{
+    std::uint64_t h = 0;
+    for (std::size_t i = 0; i < r.rows(); ++i)
+        h ^= r.subset_mask[i].hash() + 0x9e3779b97f4a7c15ULL * i +
+             r.popcounts[i];
+    return h;
+}
+
+std::uint64_t
+checksumMatrix(const BitMatrix& m)
+{
+    std::uint64_t h = 0;
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        h ^= m.row(r).hash() + r;
+    return h;
+}
+
+/** The pre-word-parallel Bernoulli fill, retained as the bench baseline. */
+void
+bitwiseRandomize(BitVector& v, Rng& rng, double density)
+{
+    for (std::size_t pos = 0; pos < v.size(); ++pos)
+        v.set(pos, rng.nextBool(density));
+}
+
+ActivationProfile
+benchProfile(double density)
+{
+    ActivationProfile p;
+    p.bit_density = density;
+    p.cluster_fraction = 0.7;
+    p.bank_size = 12;
+    p.subset_drop_prob = 0.3;
+    p.temporal_repeat = 0.4;
+    return p;
+}
+
+std::string
+fmt(double v)
+{
+    std::string s = std::to_string(v);
+    while (s.size() > 1 && s.back() == '0')
+        s.pop_back();
+    if (!s.empty() && s.back() == '.')
+        s.pop_back();
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_hotpath.json";
+    std::size_t reps_override = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+            char* end = nullptr;
+            errno = 0;
+            const unsigned long long v =
+                std::strtoull(argv[i + 1], &end, 10);
+            if (end == argv[i + 1] || *end != '\0' ||
+                argv[i + 1][0] == '-' || v == 0 || errno == ERANGE) {
+                std::cerr << "bench_hotpath: --reps expects a"
+                             " positive integer\n";
+                return 2;
+            }
+            reps_override = static_cast<std::size_t>(v);
+            ++i;
+        } else {
+            std::cerr << "usage: bench_hotpath [--quick] [--out PATH]"
+                         " [--reps N]\n";
+            return 2;
+        }
+    }
+
+    bench::Harness h("hotpath");
+    h.setConfig("mode", quick ? "quick" : "full");
+    h.setConfig("seed", "7");
+
+    const auto reps = [&](std::size_t full_reps) {
+        if (reps_override > 0)
+            return reps_override;
+        return quick ? std::max<std::size_t>(2, full_reps / 10)
+                     : full_reps;
+    };
+
+    // ---- detector: naive vs optimized over a 256-row tile sweep ------
+    std::cout << "detector (256-row tile sweep)\n";
+    const std::vector<double> densities =
+        quick ? std::vector<double>{0.15}
+              : std::vector<double>{0.05, 0.15, 0.30};
+    const std::size_t tiles_per_density = quick ? 4 : 16;
+    const Detector detector;
+    for (double d : densities) {
+        const SpikeGenerator gen(benchProfile(d), 7);
+        std::vector<BitMatrix> tiles;
+        for (std::size_t t = 0; t < tiles_per_density; ++t)
+            tiles.push_back(gen.generate(256, 16, 4, t));
+
+        bench::CaseOptions opts;
+        opts.reps = reps(30);
+        opts.warmup = quick ? 1 : 3;
+        opts.items = 256.0 * static_cast<double>(tiles.size());
+
+        const auto naive = h.run(
+            "detector/naive/d=" + fmt(d), "detector",
+            {{"rows", "256"}, {"cols", "16"}, {"density", fmt(d)},
+             {"tiles", std::to_string(tiles.size())}},
+            opts, [&] {
+                std::uint64_t c = 0;
+                for (const BitMatrix& tile : tiles)
+                    c ^= checksumDetection(detector.detectNaive(tile));
+                return c;
+            });
+        const auto fast = h.run(
+            "detector/optimized/d=" + fmt(d), "detector",
+            {{"rows", "256"}, {"cols", "16"}, {"density", fmt(d)},
+             {"tiles", std::to_string(tiles.size())}},
+            opts, [&] {
+                std::uint64_t c = 0;
+                for (const BitMatrix& tile : tiles)
+                    c ^= checksumDetection(detector.detect(tile));
+                return c;
+            });
+        if (naive.checksum != fast.checksum) {
+            std::cerr << "FATAL: optimized detector diverged from naive "
+                         "reference at density " << d << "\n";
+            return 1;
+        }
+        std::cout << "    speedup " << fmt(naive.median_ns / fast.median_ns)
+                  << "x (checksums identical)\n";
+    }
+
+    // ---- spikegen: bit-by-bit vs word-batched Bernoulli fill ---------
+    std::cout << "spikegen\n";
+    {
+        const std::size_t rows = quick ? 256 : 1024;
+        const std::size_t cols = 1024;
+        bench::CaseOptions opts;
+        opts.reps = reps(20);
+        opts.warmup = quick ? 1 : 2;
+        opts.items = static_cast<double>(rows * cols);
+        const bench::ParamList params = {
+            {"rows", std::to_string(rows)},
+            {"cols", std::to_string(cols)},
+            {"density", "0.2"}};
+
+        h.run("spikegen/bitwise_reference", "spikegen", params, opts,
+              [&] {
+                  Rng rng(11);
+                  BitMatrix m(rows, cols);
+                  for (std::size_t r = 0; r < rows; ++r)
+                      bitwiseRandomize(m.row(r), rng, 0.2);
+                  return checksumMatrix(m);
+              });
+        h.run("spikegen/word_batched", "spikegen", params, opts, [&] {
+            Rng rng(11);
+            BitMatrix m(rows, cols);
+            m.randomize(rng, 0.2);
+            return checksumMatrix(m);
+        });
+        bench::CaseOptions layer_opts = opts;
+        layer_opts.items = 1024.0 * 512.0; // the generated layer's bits
+        h.run("spikegen/generator_layer", "spikegen",
+              {{"rows", "1024"}, {"cols", "512"}, {"time_steps", "4"}},
+              layer_opts, [&] {
+                  const SpikeGenerator gen(benchProfile(0.2), 7);
+                  return checksumMatrix(gen.generate(1024, 512, 4, 1));
+              });
+    }
+
+    // ---- forest: prune + forest build over detected tiles ------------
+    std::cout << "forest\n";
+    {
+        const SpikeGenerator gen(benchProfile(0.15), 7);
+        const std::size_t n_tiles = quick ? 4 : 16;
+        std::vector<BitMatrix> tiles;
+        std::vector<DetectionResult> detections;
+        for (std::size_t t = 0; t < n_tiles; ++t) {
+            tiles.push_back(gen.generate(256, 16, 4, t));
+            detections.push_back(detector.detect(tiles.back()));
+        }
+        const Pruner pruner;
+        bench::CaseOptions opts;
+        opts.reps = reps(30);
+        opts.warmup = quick ? 1 : 3;
+        opts.items = 256.0 * static_cast<double>(n_tiles);
+        h.run("forest/prune_and_build", "forest",
+              {{"rows", "256"}, {"tiles", std::to_string(n_tiles)}}, opts,
+              [&] {
+                  std::uint64_t c = 0;
+                  for (std::size_t t = 0; t < n_tiles; ++t) {
+                      const SparsityTable table =
+                          pruner.prune(tiles[t], detections[t]);
+                      const ProsparsityForest forest(table);
+                      c ^= forest.treeCount() + 31 * forest.depth() +
+                           131 * forest.bfsOrder().size();
+                  }
+                  return c;
+              });
+    }
+
+    // ---- gemm: functional ProductGemm multiply -----------------------
+    std::cout << "gemm\n";
+    {
+        const std::size_t m = quick ? 256 : 512, k = 128, n = 64;
+        const SpikeGenerator gen(benchProfile(0.2), 7);
+        const BitMatrix spikes =
+            gen.generate(m, k, 4, 0);
+        const WeightMatrix weights = randomWeights(k, n, 3);
+        const ProductGemm gemm;
+        bench::CaseOptions opts;
+        opts.reps = reps(10);
+        opts.warmup = 1;
+        opts.items = static_cast<double>(m) * static_cast<double>(k) *
+                     static_cast<double>(n);
+        h.run("gemm/product_multiply", "gemm",
+              {{"m", std::to_string(m)}, {"k", std::to_string(k)},
+               {"n", std::to_string(n)}},
+              opts, [&] {
+                  const ProductGemm::Result r =
+                      gemm.multiply(spikes, weights);
+                  std::uint64_t c = 0;
+                  for (std::int32_t v : r.output.data())
+                      c = c * 0x100000001b3ULL +
+                          static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(v));
+                  return c;
+              });
+    }
+
+    // ---- engine: end-to-end smallest workload ------------------------
+    std::cout << "engine\n";
+    {
+        SimulationEngine engine;
+        SimulationJob job;
+        job.accelerator = AcceleratorSpec("prosperity");
+        job.workload = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+        bench::CaseOptions opts;
+        opts.reps = reps_override > 0 ? reps_override
+                                      : (quick ? std::size_t{1}
+                                               : std::size_t{3});
+        opts.warmup = 0;
+        opts.items = 1.0;
+        h.run("engine/lenet5_mnist_prosperity", "engine",
+              {{"model", "LeNet5"}, {"dataset", "MNIST"},
+               {"accelerator", "prosperity"}},
+              opts, [&] {
+                  engine.clearCache(); // time real runs, not cache hits
+                  const RunResult r = engine.run(job);
+                  return static_cast<std::uint64_t>(r.cycles);
+              });
+    }
+
+    if (!h.writeJsonFile(out_path)) {
+        std::cerr << "failed to write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << " (" << h.results().size()
+              << " cases)\n";
+    return 0;
+}

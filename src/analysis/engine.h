@@ -67,6 +67,22 @@ struct EngineOptions
  * Executes batches of simulation jobs in parallel with deterministic
  * result ordering and cross-batch memoization. Thread-safe: a single
  * engine may be shared, and its cache persists across runBatch calls.
+ *
+ * @par Memoization key
+ * Results are cached under the canonical string
+ * `canonical accelerator name {params fingerprint} | workload name |
+ * activation-profile fields | run options (seed, keep_layer_records)`
+ * (see jobKey). Two jobs are "the
+ * same simulation" exactly when those components match; anything not
+ * in the key (thread count, batch composition, submission order) must
+ * not — and does not — affect the result.
+ *
+ * @par Thread-count independence
+ * Every job constructs its own Accelerator through the registry and
+ * spike generation draws from per-(seed, layer) streams, so no mutable
+ * state is shared between workers. runBatch(jobs) therefore returns
+ * bitwise-identical results for any EngineOptions::threads value,
+ * including 1 — pinned by tests/test_engine.cc.
  */
 class SimulationEngine
 {

@@ -21,7 +21,22 @@
 
 namespace prosperity {
 
-/** A dense row-major matrix of bits; rows are BitVectors. */
+/**
+ * A dense row-major matrix of bits; rows are BitVectors.
+ *
+ * @par Word layout and tail invariant
+ * Each row is an independent BitVector of cols() bits: bit (r, c) lives
+ * in `row(r).words()[c / 64]` at bit `c % 64`, and every row upholds
+ * the BitVector tail-masking invariant (padding bits beyond cols() are
+ * zero). Word-level kernels may therefore stream any row's words()
+ * span directly.
+ *
+ * @par Determinism
+ * randomize() consumes a shape-dependent but fixed number of draws per
+ * row (see BitVector::randomize), so matrices are reproducible per
+ * (rng state, shape, density) and equality / hashing over rows is
+ * canonical.
+ */
 class BitMatrix
 {
   public:

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "bitmatrix/word_kernels.h"
 #include "sim/logging.h"
 
 namespace prosperity {
@@ -40,10 +41,7 @@ BitVector::fromString(const std::string& pattern)
 bool
 BitVector::any() const
 {
-    for (auto w : words_)
-        if (w)
-            return true;
-    return false;
+    return anyWord(words_.data(), words_.size());
 }
 
 bool
@@ -57,6 +55,7 @@ void
 BitVector::set(std::size_t pos, bool value)
 {
     PROSPERITY_ASSERT(pos < bits_, "bit index out of range");
+    // In-range single-bit writes cannot touch the tail padding.
     const std::uint64_t mask = 1ULL << (pos % kWordBits);
     if (value)
         words_[pos / kWordBits] |= mask;
@@ -74,20 +73,21 @@ BitVector::clear()
 std::size_t
 BitVector::popcount() const
 {
-    std::size_t count = 0;
-    for (auto w : words_)
-        count += static_cast<std::size_t>(std::popcount(w));
-    return count;
+    return popcountWords(words_.data(), words_.size());
 }
 
 bool
 BitVector::isSubsetOf(const BitVector& other) const
 {
     PROSPERITY_ASSERT(bits_ == other.bits_, "width mismatch");
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        if (words_[i] & ~other.words_[i])
-            return false;
-    return true;
+    return isSubsetOfWords(words_.data(), other.words_.data(),
+                           words_.size());
+}
+
+std::uint64_t
+BitVector::signature() const
+{
+    return signatureWords(words_.data(), words_.size());
 }
 
 std::size_t
@@ -132,11 +132,8 @@ std::size_t
 BitVector::andPopcount(const BitVector& other) const
 {
     PROSPERITY_ASSERT(bits_ == other.bits_, "width mismatch");
-    std::size_t count = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        count += static_cast<std::size_t>(
-            std::popcount(words_[i] & other.words_[i]));
-    return count;
+    return andPopcountWords(words_.data(), other.words_.data(),
+                            words_.size());
 }
 
 BitVector
@@ -167,11 +164,19 @@ BitVector
 BitVector::andNot(const BitVector& other) const
 {
     PROSPERITY_ASSERT(bits_ == other.bits_, "width mismatch");
+    // Both operands are canonical (zero tail), so x & ~y has a zero
+    // tail too: x's tail contributes nothing.
     BitVector out(bits_);
     for (std::size_t i = 0; i < words_.size(); ++i)
         out.words_[i] = words_[i] & ~other.words_[i];
     return out;
 }
+
+// The compound bitwise operators write words_ directly: AND/OR/XOR of
+// two canonical (zero-tail) operands of equal width are canonical by
+// construction, and the branch-free loops auto-vectorize. Only writes
+// that can carry arbitrary out-of-range bits — setWord, randomize —
+// must funnel through storeWord.
 
 BitVector&
 BitVector::operator&=(const BitVector& other)
@@ -209,8 +214,8 @@ BitVector::operator==(const BitVector& other) const
 void
 BitVector::randomize(Rng& rng, double density)
 {
-    for (std::size_t pos = 0; pos < bits_; ++pos)
-        set(pos, rng.nextBool(density));
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        storeWord(i, rng.nextBernoulliWord(density));
 }
 
 std::string
@@ -239,16 +244,22 @@ void
 BitVector::setWord(std::size_t index, std::uint64_t value)
 {
     PROSPERITY_ASSERT(index < words_.size(), "word index out of range");
-    words_[index] = value;
-    maskTail();
+    storeWord(index, value);
 }
 
 void
-BitVector::maskTail()
+BitVector::storeWord(std::size_t index, std::uint64_t value)
+{
+    words_[index] = value & wordMask(index);
+}
+
+std::uint64_t
+BitVector::wordMask(std::size_t index) const
 {
     const std::size_t tail = bits_ % kWordBits;
-    if (tail != 0 && !words_.empty())
-        words_.back() &= (1ULL << tail) - 1;
+    if (tail == 0 || index + 1 != words_.size())
+        return ~0ULL;
+    return (1ULL << tail) - 1;
 }
 
 } // namespace prosperity

@@ -7,6 +7,25 @@
  * Prosperity hardware performs on spike rows: popcount (the Detector's
  * number-of-ones), subset test (the TCAM match), XOR (the Pruner's
  * sparsify step), and bit-scan-forward (the Processor's address decode).
+ * The per-word loops live in bitmatrix/word_kernels.h so the Detector
+ * can run the same fused kernels over raw word spans.
+ *
+ * @par Word layout
+ * Bit `pos` lives in `words()[pos / 64]` at bit `pos % 64` (little-endian
+ * within and across words). `words().size() == ceil(size() / 64)`.
+ *
+ * @par Tail-masking invariant
+ * Bits of the last word at positions `>= size() % 64` (when `size()` is
+ * not word-aligned) are always zero. The invariant cannot be bypassed:
+ * every write that can introduce arbitrary out-of-range bits —
+ * `setWord` and the word-batched `randomize`, i.e. all word-granularity
+ * entry points future kernels would use — funnels through one private
+ * masked-write path (`storeWord`) that discards tail bits, while the
+ * remaining mutators preserve the invariant by construction (`set`
+ * asserts `pos < size()`; AND/OR/XOR between canonical equal-width
+ * operands yield canonical words). The invariant is what makes
+ * `hash()`, `operator==`, and the word kernels canonical: equal bit
+ * content implies equal words.
  */
 
 #ifndef PROSPERITY_BITMATRIX_BIT_VECTOR_H
@@ -58,9 +77,18 @@ class BitVector
     /**
      * TCAM-style subset test: true when every set bit of this vector is
      * also set in `other` (this row's spike set is a subset of other's).
-     * Implemented as (this & ~other) == 0.
+     * Implemented as (this & ~other) == 0 with early exit on the first
+     * violating word.
      */
     bool isSubsetOf(const BitVector& other) const;
+
+    /**
+     * 64-bit occupancy signature (see signatureWords): a one-word
+     * necessary-condition prefilter for isSubsetOf. If A.isSubsetOf(B)
+     * then `A.signature() & ~B.signature() == 0`; the Detector rejects
+     * most non-subset candidates on this single word operation.
+     */
+    std::uint64_t signature() const;
 
     /** Index of the lowest set bit, or size() when empty. */
     std::size_t findFirst() const;
@@ -87,7 +115,17 @@ class BitVector
     bool operator==(const BitVector& other) const;
     bool operator!=(const BitVector& other) const = default;
 
-    /** Fill with Bernoulli(p) bits from `rng`. */
+    /**
+     * Fill with Bernoulli(p) bits from `rng`, one whole word per batch
+     * of draws (Rng::nextBernoulliWord) rather than bit by bit.
+     *
+     * @par Determinism
+     * Output is a pure function of (`rng` state, `density`, size());
+     * the number of raw draws consumed is ceil(size()/64) times
+     * (Rng::kBernoulliBits minus the trailing zero digits of the
+     * quantized density) — fixed per (density, size), so downstream
+     * draws from the same stream stay reproducible.
+     */
     void randomize(Rng& rng, double density);
 
     /** "1001"-style rendering used by tests and trace dumps. */
@@ -96,14 +134,31 @@ class BitVector
     /** 64-bit hash of contents (for exact-match grouping). */
     std::uint64_t hash() const;
 
-    /** Backing words, low bits first; the final word is zero-padded. */
+    /**
+     * Backing words, low bits first; the final word is zero-padded (the
+     * tail-masking invariant above), so spans handed to the word
+     * kernels never expose phantom bits.
+     */
     const std::vector<std::uint64_t>& words() const { return words_; }
 
-    /** Direct word write for bulk generators; tail bits are re-masked. */
+    /**
+     * Direct word write for bulk generators and kernels. Tail bits
+     * beyond size() are discarded by the masked-write path — the
+     * invariant holds even for garbage high bits in `value`.
+     */
     void setWord(std::size_t index, std::uint64_t value);
 
   private:
-    void maskTail();
+    /**
+     * The single masked-write path for word-granularity writes: every
+     * word value of external origin (setWord, randomize, future
+     * kernels) lands here, so the tail-masking invariant cannot be
+     * bypassed.
+     */
+    void storeWord(std::size_t index, std::uint64_t value);
+
+    /** All-ones mask of valid bits for word `index`. */
+    std::uint64_t wordMask(std::size_t index) const;
 
     std::size_t bits_ = 0;
     std::vector<std::uint64_t> words_;

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fused 64-bit word-level kernels over packed bit spans.
+ *
+ * These are the innermost loops of the simulator: every hot path that
+ * touches spike bits (the Detector's TCAM model, the Pruner's XOR, the
+ * density analyses) bottoms out here, operating on whole 64-bit words
+ * instead of individual bits. The functions are deliberately free of
+ * class state so they can run over raw `BitVector::words()` spans and
+ * so future SIMD specializations have a single place to land.
+ *
+ * All kernels assume canonical operands: unused tail bits beyond the
+ * logical width are zero. `BitVector` maintains that invariant through
+ * its single masked-write path (see BitVector::storeWord), so spans
+ * obtained from `BitVector::words()` are always safe inputs.
+ */
+
+#ifndef PROSPERITY_BITMATRIX_WORD_KERNELS_H
+#define PROSPERITY_BITMATRIX_WORD_KERNELS_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace prosperity {
+
+/** Total set bits across `n` words. */
+inline std::size_t
+popcountWords(const std::uint64_t* words, std::size_t n)
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        count += static_cast<std::size_t>(std::popcount(words[i]));
+    return count;
+}
+
+/** popcount(a & b) over `n` words without materializing the AND. */
+inline std::size_t
+andPopcountWords(const std::uint64_t* a, const std::uint64_t* b,
+                 std::size_t n)
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        count += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+    return count;
+}
+
+/**
+ * Subset test with early exit: true iff every set bit of `sub` is also
+ * set in `super` — (sub & ~super) == 0 word by word, returning at the
+ * first violating word. This is the TCAM match line at word level.
+ */
+inline bool
+isSubsetOfWords(const std::uint64_t* sub, const std::uint64_t* super,
+                std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (sub[i] & ~super[i])
+            return false;
+    return true;
+}
+
+/** Whether any of `n` words is non-zero. */
+inline bool
+anyWord(const std::uint64_t* words, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (words[i])
+            return true;
+    return false;
+}
+
+/**
+ * 64-bit occupancy signature of a packed span: the span's bit positions
+ * are divided into 64 contiguous groups and signature bit g is set iff
+ * any bit in group g is set.
+ *
+ * The signature preserves the subset order: if span A is a bitwise
+ * subset of span B then `signatureWords(A) & ~signatureWords(B) == 0`.
+ * The converse does not hold — the signature is a cheap *necessary*
+ * condition used to reject non-subsets in one word operation before a
+ * full comparison.
+ *
+ * For n == 1 the signature is the word itself (the filter is exact);
+ * for 2 <= n <= 64 each signature bit covers one word; beyond that each
+ * bit covers ceil(n / 64) consecutive words.
+ */
+inline std::uint64_t
+signatureWords(const std::uint64_t* words, std::size_t n)
+{
+    if (n == 0)
+        return 0;
+    if (n == 1)
+        return words[0];
+    const std::size_t group = (n + 63) / 64;
+    std::uint64_t sig = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (words[i])
+            sig |= 1ULL << (i / group);
+    return sig;
+}
+
+} // namespace prosperity
+
+#endif // PROSPERITY_BITMATRIX_WORD_KERNELS_H

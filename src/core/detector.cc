@@ -1,11 +1,89 @@
 #include "detector.h"
 
+#include <algorithm>
+#include <cstdint>
+
+#include "bitmatrix/word_kernels.h"
 #include "sim/logging.h"
 
 namespace prosperity {
 
 DetectionResult
 Detector::detect(const BitMatrix& tile) const
+{
+    const std::size_t m = tile.rows();
+    DetectionResult result;
+    result.subset_mask.assign(m, BitVector(m));
+    result.popcounts.resize(m);
+    if (m == 0)
+        return result;
+
+    // Per-row word spans, popcounts and one-word occupancy signatures.
+    std::vector<const std::uint64_t*> row_words(m);
+    std::vector<std::uint64_t> sig(m);
+    std::size_t nwords = 0;
+    std::size_t max_pc = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+        const BitVector& row = tile.row(i);
+        row_words[i] = row.words().data();
+        nwords = row.words().size();
+        result.popcounts[i] = popcountWords(row_words[i], nwords);
+        sig[i] = row.signature();
+        max_pc = std::max(max_pc, result.popcounts[i]);
+    }
+    if (max_pc == 0)
+        return result; // all rows empty: no queries, no candidates
+
+    // Counting-sort the non-empty rows by popcount (ascending, stable).
+    // `bucket_end[p]` is one past the last sorted entry with popcount
+    // <= p, so a query with NO(i) = p scans exactly order[0 ..
+    // bucket_end[p]) — candidates with more ones can never be subsets.
+    std::vector<std::size_t> bucket_end(max_pc + 1, 0);
+    for (std::size_t i = 0; i < m; ++i)
+        if (result.popcounts[i] > 0)
+            ++bucket_end[result.popcounts[i]];
+    for (std::size_t p = 1; p <= max_pc; ++p)
+        bucket_end[p] += bucket_end[p - 1];
+    std::vector<std::uint32_t> order(bucket_end[max_pc]);
+    {
+        std::vector<std::size_t> cursor(max_pc + 1, 0);
+        for (std::size_t p = 1; p <= max_pc; ++p)
+            cursor[p] = bucket_end[p - 1];
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t pc = result.popcounts[i];
+            if (pc > 0)
+                order[cursor[pc]++] = static_cast<std::uint32_t>(i);
+        }
+    }
+
+    // TCAM search per query row: signature prefilter, then the fused
+    // early-exit word comparison. Empty rows neither query nor match
+    // (the hardware's valid bit masks them out of the match line).
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t pc_i = result.popcounts[i];
+        if (pc_i == 0)
+            continue;
+        const std::uint64_t not_sig_i = ~sig[i];
+        const std::uint64_t* words_i = row_words[i];
+        BitVector& mask = result.subset_mask[i];
+        const std::size_t end = bucket_end[pc_i];
+        for (std::size_t t = 0; t < end; ++t) {
+            const std::size_t j = order[t];
+            if (j == i || (sig[j] & not_sig_i))
+                continue;
+            // For single-word rows the signature test above is already
+            // exact, making this comparison redundant — but branching
+            // around it (`nwords == 1 ||`) measures ~10% *slower* on
+            // 256x16 tiles than letting the inlined one-word loop run.
+            if (isSubsetOfWords(row_words[j], words_i, nwords))
+                mask.set(j);
+        }
+    }
+    return result;
+}
+
+DetectionResult
+Detector::detectNaive(const BitMatrix& tile) const
 {
     const std::size_t m = tile.rows();
     DetectionResult result;

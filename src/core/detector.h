@@ -44,8 +44,24 @@ class Detector
      * Detect subset and popcount information for every row of `tile`.
      * Rows beyond the TCAM depth are rejected by the caller (tiles are
      * always cropped to at most the configured m).
+     *
+     * Word-parallel implementation: candidate rows are counting-sorted
+     * by popcount so each query row i only scans candidates j with
+     * NO(j) <= NO(i) (a subset can never have more ones than its
+     * superset), and each surviving candidate is prefiltered by a
+     * one-word occupancy signature (BitVector::signature) before the
+     * full early-exit word comparison runs. The result is bitwise
+     * identical to detectNaive() — the golden tests assert this — but
+     * the expensive comparisons collapse to roughly the true matches.
      */
     DetectionResult detect(const BitMatrix& tile) const;
+
+    /**
+     * Retained O(m^2) reference implementation: the all-pairs TCAM
+     * sweep the optimized detect() is validated and benchmarked
+     * against (tests/test_detector.cc, bench/bench_hotpath.cc).
+     */
+    DetectionResult detectNaive(const BitMatrix& tile) const;
 
     /**
      * Cycles for the ProSparsity *processing phase* of a tile with

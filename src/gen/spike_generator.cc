@@ -85,11 +85,12 @@ SpikeGenerator::generate(std::size_t rows, std::size_t cols,
             const int parts = is_union ? 2 : 1;
             for (int part = 0; part < parts; ++part) {
                 const auto& order = bank_order[rng.nextBelow(bank_size)];
-                // Keep-length ~ Binomial(|order|, (1 - drop) / parts).
+                // Keep-length ~ Binomial(|order|, (1 - drop) / parts),
+                // drawn word-parallel: popcounts of Bernoulli words
+                // instead of |order| scalar coin flips.
                 const double keep_prob = (1.0 - drop) / parts;
-                std::size_t keep = 0;
-                for (std::size_t i = 0; i < order.size(); ++i)
-                    keep += rng.nextBool(keep_prob) ? 1 : 0;
+                const std::size_t keep =
+                    rng.nextBinomial(order.size(), keep_prob);
                 for (std::size_t i = 0; i < keep; ++i)
                     row.set(order[i]);
             }

@@ -16,7 +16,14 @@
  *     with probability `temporal_repeat`.
  *
  * All draws are made from per-(seed, layer) streams so a layer's matrix
- * is identical regardless of the order layers are simulated in.
+ * is identical regardless of the order layers are simulated in. Draws
+ * are word-batched: i.i.d. rows and bank base patterns are filled 64
+ * bits per batch (BitVector::randomize / Rng::nextBernoulliWord) and
+ * clustered keep-lengths come from word-parallel binomial draws
+ * (Rng::nextBinomial), so generation cost scales with words, not bits.
+ * The batched draw sequence is still a pure function of
+ * (seed, layer_index, shape, profile) — the determinism contract tested
+ * by the fixed-hash pins in tests/test_spike_generator.cc.
  */
 
 #ifndef PROSPERITY_GEN_SPIKE_GENERATOR_H

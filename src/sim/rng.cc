@@ -1,5 +1,6 @@
 #include "rng.h"
 
+#include <bit>
 #include <cmath>
 
 namespace prosperity {
@@ -72,6 +73,51 @@ bool
 Rng::nextBool(double p)
 {
     return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextBernoulliWord(double p)
+{
+    constexpr std::uint64_t kOne = 1ULL << kBernoulliBits;
+    if (!(p > 0.0))
+        return 0;
+    if (p >= 1.0)
+        return ~0ULL;
+    const auto q = static_cast<std::uint64_t>(
+        p * static_cast<double>(kOne) + 0.5);
+    if (q == 0)
+        return 0;
+    if (q >= kOne)
+        return ~0ULL;
+
+    // Synthesize Bernoulli(q / 2^kBernoulliBits) per bit lane from the
+    // binary expansion of q, least significant digit first: a set digit
+    // ORs in a fresh uniform word (adding 1/2 of the remaining mass), a
+    // clear digit ANDs one (halving it). Trailing zero digits leave the
+    // accumulator all-zero, so the loop starts at the lowest set digit.
+    std::uint64_t acc = next();
+    for (int b = std::countr_zero(q) + 1; b < kBernoulliBits; ++b) {
+        const std::uint64_t r = next();
+        acc = (q & (1ULL << b)) ? (r | acc) : (r & acc);
+    }
+    return acc;
+}
+
+std::size_t
+Rng::nextBinomial(std::size_t n, double p)
+{
+    std::size_t count = 0;
+    while (n >= 64) {
+        count += static_cast<std::size_t>(
+            std::popcount(nextBernoulliWord(p)));
+        n -= 64;
+    }
+    if (n > 0) {
+        const std::uint64_t mask = (1ULL << n) - 1;
+        count += static_cast<std::size_t>(
+            std::popcount(nextBernoulliWord(p) & mask));
+    }
+    return count;
 }
 
 double

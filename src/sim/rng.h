@@ -44,6 +44,30 @@ class Rng
     /** Bernoulli draw with probability p of true. */
     bool nextBool(double p);
 
+    /**
+     * 64 independent Bernoulli(p) bits in one word — the word-parallel
+     * replacement for 64 nextBool(p) calls in the spike-generation hot
+     * path.
+     *
+     * `p` is quantized to kBernoulliBits binary digits and synthesized
+     * from the binary expansion: one raw draw per significant digit
+     * (at most kBernoulliBits draws per 64 bits, versus 64 for the
+     * bit-by-bit path). The draw sequence depends only on the quantized
+     * p, so outputs are deterministic per (seed, p) like every other
+     * draw.
+     */
+    std::uint64_t nextBernoulliWord(double p);
+
+    /**
+     * Binomial(n, p) draw via popcounts of nextBernoulliWord batches:
+     * exactly the number of successes in n Bernoulli(p) trials, at
+     * ~kBernoulliBits/64 raw draws per trial word.
+     */
+    std::size_t nextBinomial(std::size_t n, double p);
+
+    /** Probability resolution of nextBernoulliWord / nextBinomial. */
+    static constexpr int kBernoulliBits = 24;
+
     /** Gaussian draw (Box-Muller), mean 0 / stddev 1. */
     double nextGaussian();
 

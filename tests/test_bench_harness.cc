@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the benchmark harness (bench/bench_harness.h): timing
+ * bookkeeping and the stable BENCH_*.json schema every future PR's
+ * trajectory depends on (docs/BENCHMARKS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "bench_harness.h"
+
+namespace prosperity::bench {
+namespace {
+
+TEST(BenchHarness, RecordsTimingAndChecksum)
+{
+    Harness h("unit");
+    CaseOptions opts;
+    opts.reps = 5;
+    opts.warmup = 1;
+    opts.items = 10.0;
+    int calls = 0;
+    const CaseResult& r =
+        h.run("stage/case", "stage", {{"k", "v"}}, opts, [&] {
+            ++calls;
+            return std::uint64_t{0xabcULL};
+        });
+    EXPECT_EQ(calls, 6); // warmup + reps
+    EXPECT_EQ(r.reps, 5u);
+    // Checksum is the first timed repetition's value (an XOR-fold
+    // would cancel to 0 for even rep counts).
+    EXPECT_EQ(r.checksum, 0xabcULL);
+    EXPECT_GE(r.median_ns, r.best_ns);
+    EXPECT_GT(r.mean_ns, 0.0);
+    EXPECT_GT(r.itemsPerSec(), 0.0);
+}
+
+TEST(BenchHarness, ChecksumSurvivesEvenRepCounts)
+{
+    // Regression: an XOR-fold across reps cancels to 0 for even rep
+    // counts, silently voiding the naive-vs-optimized identity check.
+    Harness h("unit");
+    CaseOptions opts;
+    opts.reps = 4;
+    opts.warmup = 0;
+    const CaseResult& r = h.run("even", "s", {}, opts, [] {
+        return std::uint64_t{0xdeadbeefULL};
+    });
+    EXPECT_EQ(r.checksum, 0xdeadbeefULL);
+}
+
+TEST(BenchHarness, RepsAreClampedToAtLeastOne)
+{
+    Harness h("unit");
+    CaseOptions opts;
+    opts.reps = 0;
+    opts.warmup = 0;
+    const CaseResult& r =
+        h.run("x", "s", {}, opts, [] { return std::uint64_t{1}; });
+    EXPECT_EQ(r.reps, 1u);
+}
+
+TEST(BenchHarness, JsonContainsStableSchemaFields)
+{
+    Harness h("hotpath");
+    h.setConfig("mode", "quick");
+    h.setConfig("mode", "full"); // overrides, no duplicate key
+    CaseOptions opts;
+    opts.reps = 3;
+    opts.items = 4.0;
+    h.run("detector/optimized", "detector", {{"rows", "256"}}, opts,
+          [] { return std::uint64_t{7}; });
+
+    std::ostringstream os;
+    h.writeJson(os);
+    const std::string json = os.str();
+
+    for (const char* field :
+         {"\"schema_version\": 1", "\"suite\": \"hotpath\"",
+          "\"time_unit\": \"ns\"", "\"config\"", "\"mode\":\"full\"",
+          "\"results\"", "\"name\": \"detector/optimized\"",
+          "\"stage\": \"detector\"", "\"rows\":\"256\"",
+          "\"warmup\"", "\"best_ns\"", "\"median_ns\"", "\"mean_ns\"",
+          "\"items\"", "\"items_per_sec\"", "\"checksum\": \"0x7\"",
+          "\"reps\": 3"})
+        EXPECT_NE(json.find(field), std::string::npos)
+            << "missing field " << field << " in:\n" << json;
+    // The quick value was overridden, not duplicated.
+    EXPECT_EQ(json.find("\"mode\":\"quick\""), std::string::npos);
+}
+
+TEST(BenchHarness, JsonEscapesSpecialCharacters)
+{
+    Harness h("unit");
+    CaseOptions opts;
+    opts.reps = 1;
+    h.run("quote\"and\\slash", "s", {{"note", "line\nbreak"}}, opts,
+          [] { return std::uint64_t{0}; });
+    std::ostringstream os;
+    h.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("quote\\\"and\\\\slash"), std::string::npos);
+    EXPECT_NE(json.find("line\\nbreak"), std::string::npos);
+}
+
+TEST(BenchHarness, WriteJsonFileRoundTrips)
+{
+    Harness h("unit");
+    CaseOptions opts;
+    opts.reps = 1;
+    h.run("a", "s", {}, opts, [] { return std::uint64_t{0}; });
+    const std::string path =
+        ::testing::TempDir() + "bench_harness_test.json";
+    ASSERT_TRUE(h.writeJsonFile(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("\"schema_version\": 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace prosperity::bench

@@ -48,6 +48,41 @@ TEST(BitVector, SetAndClearBits)
     EXPECT_TRUE(v.none());
 }
 
+TEST(BitVector, SetWordMasksStaleHighBitsOnNonAlignedSizes)
+{
+    // The single masked-write path must make the tail invariant
+    // impossible to bypass: a setWord carrying garbage above size()
+    // leaves no stale high bits behind.
+    for (std::size_t bits : {1UL, 17UL, 63UL, 65UL, 100UL, 129UL}) {
+        BitVector v(bits);
+        const std::size_t last = v.words().size() - 1;
+        v.setWord(last, ~0ULL); // all 64 bits, including phantom tail
+        const std::size_t tail = bits % 64;
+        if (tail != 0) {
+            EXPECT_EQ(v.words().back() >> tail, 0u) << "bits=" << bits;
+            EXPECT_EQ(v.popcount(), tail) << "bits=" << bits;
+        }
+        // Canonical-form consequences: equality and hash see only
+        // logical bits.
+        BitVector w(bits);
+        for (std::size_t pos = last * 64; pos < bits; ++pos)
+            w.set(pos);
+        EXPECT_EQ(v, w) << "bits=" << bits;
+        EXPECT_EQ(v.hash(), w.hash()) << "bits=" << bits;
+    }
+}
+
+TEST(BitVector, RandomizePreservesTailInvariant)
+{
+    Rng rng(4);
+    BitVector v(70); // 64 + 6-bit tail
+    for (int i = 0; i < 20; ++i) {
+        v.randomize(rng, 0.9);
+        EXPECT_EQ(v.words().back() >> 6, 0u);
+        EXPECT_LE(v.popcount(), 70u);
+    }
+}
+
 TEST(BitVector, SubsetReflexiveAndEmpty)
 {
     const BitVector v = BitVector::fromString("1011");

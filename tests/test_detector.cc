@@ -99,6 +99,84 @@ TEST(Detector, MaskSemanticsOnRandomTiles)
     }
 }
 
+/** Bitwise comparison of two detection results with diagnostics. */
+void
+expectIdentical(const DetectionResult& fast, const DetectionResult& naive)
+{
+    ASSERT_EQ(fast.rows(), naive.rows());
+    for (std::size_t i = 0; i < fast.rows(); ++i) {
+        EXPECT_EQ(fast.popcounts[i], naive.popcounts[i]) << "row " << i;
+        EXPECT_EQ(fast.subset_mask[i], naive.subset_mask[i]) << "row " << i;
+    }
+}
+
+TEST(DetectorGolden, OptimizedMatchesNaiveOnRandomTiles)
+{
+    // The word-parallel detect() must be bitwise identical to the
+    // retained all-pairs reference across densities and tile shapes.
+    const Detector detector;
+    Rng rng(101);
+    for (double density : {0.02, 0.1, 0.3, 0.6, 0.95}) {
+        for (const auto& [rows, cols] :
+             {std::pair<std::size_t, std::size_t>{256, 16},
+              {64, 16}, {100, 48}, {31, 7}, {256, 130}}) {
+            BitMatrix tile(rows, cols);
+            tile.randomize(rng, density);
+            expectIdentical(detector.detect(tile),
+                            detector.detectNaive(tile));
+        }
+    }
+}
+
+TEST(DetectorGolden, OptimizedMatchesNaiveWithEmptyRows)
+{
+    const Detector detector;
+    Rng rng(55);
+    BitMatrix tile(128, 16);
+    tile.randomize(rng, 0.2);
+    // Force a band of all-zero rows plus some exact duplicates.
+    for (std::size_t r = 40; r < 60; ++r)
+        tile.row(r).clear();
+    for (std::size_t r = 100; r < 110; ++r)
+        tile.row(r) = tile.row(r - 100);
+    expectIdentical(detector.detect(tile), detector.detectNaive(tile));
+}
+
+TEST(DetectorGolden, OptimizedMatchesNaiveOnClusteredTiles)
+{
+    // Subset-heavy tiles (the structure ProSparsity targets) exercise
+    // the popcount buckets and signature prefilter much harder than
+    // i.i.d. noise does.
+    const Detector detector;
+    Rng rng(77);
+    for (int trial = 0; trial < 5; ++trial) {
+        BitMatrix tile(96, 16);
+        BitVector base(16);
+        base.randomize(rng, 0.6);
+        for (std::size_t r = 0; r < tile.rows(); ++r) {
+            BitVector drop(16);
+            drop.randomize(rng, 0.4);
+            tile.row(r) = base.andNot(drop);
+        }
+        expectIdentical(detector.detect(tile),
+                        detector.detectNaive(tile));
+    }
+}
+
+TEST(DetectorGolden, DegenerateTiles)
+{
+    const Detector detector;
+    expectIdentical(detector.detect(BitMatrix()),
+                    detector.detectNaive(BitMatrix()));
+    const BitMatrix all_zero(32, 16);
+    expectIdentical(detector.detect(all_zero),
+                    detector.detectNaive(all_zero));
+    BitMatrix one_row(1, 16);
+    one_row.set(0, 3);
+    expectIdentical(detector.detect(one_row),
+                    detector.detectNaive(one_row));
+}
+
 TEST(Detector, PhaseCyclesIsRowsPlusPipelineFill)
 {
     // Sec. VI-A: m + 4 cycles for the five-stage one-row-per-cycle

@@ -31,6 +31,43 @@ TEST(SpikeGenerator, Deterministic)
     EXPECT_EQ(a, b);
 }
 
+/** FNV-1a fold over row hashes — canonical thanks to tail masking. */
+std::uint64_t
+matrixHash(const BitMatrix& m)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        h ^= m.row(r).hash();
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+TEST(SpikeGenerator, WordBatchedOutputMatchesPinnedHashes)
+{
+    // Pins the exact bit stream of the word-batched generator per
+    // (seed, layer). Any change to the draw order — Rng batching,
+    // BitVector::randomize, the binomial keep-length draw — shows up
+    // here before it silently shifts the calibration anchors.
+    const struct
+    {
+        std::uint64_t seed;
+        std::size_t layer;
+        std::uint64_t hash;
+    } pins[] = {
+        {42ULL, 0, 0x9e0597ee4dfceaedULL},
+        {42ULL, 3, 0x0d5d70cbce924d92ULL},
+        {7ULL, 1, 0x5109284548edce31ULL},
+        {1234567ULL, 9, 0x11a6941fdc2e989eULL},
+    };
+    for (const auto& pin : pins) {
+        const SpikeGenerator gen(defaultProfile(), pin.seed);
+        const BitMatrix m = gen.generate(128, 64, 4, pin.layer);
+        EXPECT_EQ(matrixHash(m), pin.hash)
+            << "seed=" << pin.seed << " layer=" << pin.layer;
+    }
+}
+
 TEST(SpikeGenerator, LayersHaveIndependentStreams)
 {
     const SpikeGenerator gen(defaultProfile(), 42);
