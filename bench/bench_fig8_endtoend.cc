@@ -1,11 +1,14 @@
 /**
  * @file
  * Fig. 8 reproduction: end-to-end speedup and energy efficiency of
- * Prosperity vs Eyeriss, PTB, SATO, MINT, Stellar (spiking CNNs only)
- * and the A100 across the 16 model/dataset pairs, normalized to
- * Eyeriss, with geometric means. All accelerators are constructed by
- * name through the AcceleratorRegistry and the whole 16x7 campaign is
- * dispatched as one SimulationEngine batch.
+ * Prosperity vs Eyeriss, PTB, SATO, MINT, Stellar and the A100 across
+ * the 16 model/dataset pairs, normalized to Eyeriss.
+ *
+ * The experiment itself is data: campaigns/fig8.json names the
+ * accelerator lineup and the workload suite, the shared CampaignRunner
+ * executes it through the SimulationEngine, and the derived tables
+ * come straight out of the CampaignReport. This file only prints them
+ * next to the paper's reference numbers.
  *
  * Paper headline numbers: Prosperity averages 7.4x speedup / 8.0x
  * energy over PTB, 4.8x / 4.2x over SATO, 3.6x / 3.1x over MINT,
@@ -13,12 +16,11 @@
  * 14.2x / 21.4x over Eyeriss.
  */
 
+#include <cmath>
 #include <iostream>
-#include <map>
-#include <vector>
+#include <stdexcept>
 
-#include "analysis/engine.h"
-#include "sim/table.h"
+#include "analysis/campaign.h"
 
 using namespace prosperity;
 
@@ -33,95 +35,125 @@ isCnn(const Workload& w)
            w.model_id == ModelId::kLeNet5;
 }
 
+/** Geomean of Prosperity's advantage over `label`, CNN rows only —
+ *  Stellar targets spiking CNNs, so the paper compares it there. */
+double
+cnnOnlyAdvantage(const CampaignReport& report, const std::string& label,
+                 double (*metric)(const RunResult&))
+{
+    std::vector<double> ratios;
+    for (std::size_t w = 0; w < report.spec.workloads.size(); ++w) {
+        if (!isCnn(report.spec.workloads[w]))
+            continue;
+        const RunResult* other =
+            report.find(label, report.spec.workloads[w].name());
+        const RunResult* pros =
+            report.find("prosperity", report.spec.workloads[w].name());
+        if (other && pros)
+            ratios.push_back(metric(*other) / metric(*pros));
+    }
+    return geometricMean(ratios); // 0.0 when no CNN rows
+}
+
+double
+secondsOf(const RunResult& r)
+{
+    return r.seconds();
+}
+
+double
+energyOf(const RunResult& r)
+{
+    return r.energy.totalPj();
+}
+
+/** Column index of `label`; the spec is external data, so a missing
+ *  label is a hard failure, not a silent default. */
+std::size_t
+columnOf(const DerivedTable& table, const std::string& label)
+{
+    for (std::size_t c = 0; c < table.columns.size(); ++c)
+        if (table.columns[c] == label)
+            return c;
+    throw std::runtime_error("campaigns/fig8.json has no accelerator "
+                             "labeled \"" + label + '"');
+}
+
+/**
+ * Blank the Stellar column on non-CNN rows (the paper compares
+ * Stellar on spiking CNNs only) and recompute its geomean over the
+ * remaining rows. Row order matches the spec's workload axis.
+ */
+void
+restrictStellarToCnns(DerivedTable& table,
+                      const std::vector<Workload>& workloads)
+{
+    // Row i corresponds to workload i only for a single-option cross
+    // campaign; refuse anything else rather than misattribute rows.
+    if (table.values.size() != workloads.size())
+        throw std::runtime_error(
+            "campaigns/fig8.json must stay a single-option cross "
+            "campaign (one derived-table row per workload); got " +
+            std::to_string(table.values.size()) + " rows for " +
+            std::to_string(workloads.size()) + " workloads");
+    const std::size_t col = columnOf(table, "stellar");
+    std::vector<double> kept;
+    for (std::size_t row = 0; row < table.values.size(); ++row) {
+        if (!isCnn(workloads[row]))
+            table.values[row][col] = std::nan("");
+        else
+            kept.push_back(table.values[row][col]);
+    }
+    table.geomean[col] =
+        kept.empty() ? std::nan("") : geometricMean(kept);
+}
+
 } // namespace
 
 int
 main()
 {
-    const std::vector<AcceleratorSpec> specs = {
-        {"eyeriss"}, {"ptb"},  {"sato"},       {"mint"},
-        {"stellar"}, {"a100"}, {"prosperity"},
-    };
-    const std::vector<Workload> workloads = fig8Suite();
-
     SimulationEngine engine;
-    const auto grid = engine.runGrid(specs, workloads);
+    CampaignRunner runner(engine);
+    const CampaignSpec spec = loadNamedCampaign("fig8");
+    const CampaignReport report = runner.run(spec);
 
-    Table speedup_table(
-        "Fig. 8 (top) — speedup normalized to Eyeriss");
-    Table energy_table(
-        "Fig. 8 (bottom) — energy efficiency normalized to Eyeriss");
-    std::vector<std::string> header = {"workload"};
-    for (const RunResult& r : grid.front())
-        header.push_back(r.accelerator);
-    speedup_table.setHeader(header);
-    energy_table.setHeader(header);
-
-    // Per-accelerator ratios of Prosperity vs that accelerator.
-    std::map<std::string, std::vector<double>> speedup_vs;
-    std::map<std::string, std::vector<double>> energy_vs;
-    std::vector<double> prosperity_speedup, prosperity_energy;
-
-    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
-        const Workload& w = workloads[wi];
-        const std::vector<RunResult>& results = grid[wi];
-        const double base_s = results.front().seconds();
-        const double base_e = results.front().energy.totalPj();
-        const RunResult& pros = results.back();
-
-        std::vector<std::string> srow = {w.name()};
-        std::vector<std::string> erow = {w.name()};
-        for (const RunResult& r : results) {
-            if (r.accelerator == "Stellar" && !isCnn(w)) {
-                srow.push_back("n/a");
-                erow.push_back("n/a");
-                continue;
-            }
-            const double s = base_s / r.seconds();
-            const double e = base_e / r.energy.totalPj();
-            srow.push_back(Table::ratio(s));
-            erow.push_back(Table::ratio(e));
-            if (r.accelerator != "Eyeriss" &&
-                r.accelerator != pros.accelerator) {
-                speedup_vs[r.accelerator].push_back(r.seconds() /
-                                                    pros.seconds());
-                energy_vs[r.accelerator].push_back(
-                    r.energy.totalPj() / pros.energy.totalPj());
-            }
-        }
-        speedup_vs["Eyeriss"].push_back(base_s / pros.seconds());
-        energy_vs["Eyeriss"].push_back(base_e / pros.energy.totalPj());
-        prosperity_speedup.push_back(base_s / pros.seconds());
-        prosperity_energy.push_back(base_e / pros.energy.totalPj());
-        speedup_table.addRow(srow);
-        energy_table.addRow(erow);
-    }
-
-    speedup_table.addRow(
-        {"GeoMean(Prosperity)", "", "", "", "", "", "",
-         Table::ratio(geometricMean(prosperity_speedup))});
-    energy_table.addRow(
-        {"GeoMean(Prosperity)", "", "", "", "", "", "",
-         Table::ratio(geometricMean(prosperity_energy))});
-    speedup_table.print(std::cout);
+    DerivedTable speedup = report.speedupTable();
+    DerivedTable energy = report.energyEfficiencyTable();
+    restrictStellarToCnns(speedup, spec.workloads);
+    restrictStellarToCnns(energy, spec.workloads);
+    toTable(speedup, "Fig. 8 (top) — speedup normalized to Eyeriss")
+        .print(std::cout);
     std::cout << '\n';
-    energy_table.print(std::cout);
+    toTable(energy,
+            "Fig. 8 (bottom) — energy efficiency normalized to Eyeriss")
+        .print(std::cout);
 
+    // Prosperity's average advantage is the ratio of column geomeans
+    // (geomeans are multiplicative, so this equals the geomean of the
+    // per-workload ratios).
     Table summary("Prosperity average advantage (geometric mean)");
     summary.setHeader({"vs", "speedup", "(paper)", "energy eff.",
                        "(paper)"});
+    const char* labels[] = {"eyeriss", "ptb", "sato", "mint", "stellar",
+                            "a100"};
     const char* paper_speed[] = {"14.2x", "7.4x", "4.8x", "3.6x",
                                  "2.1x (CNNs)", "1.79x"};
     const char* paper_energy[] = {"21.4x", "8.0x", "4.2x", "3.1x",
                                   "2.2x (CNNs)", "193x"};
-    const char* names[] = {"Eyeriss", "PTB", "SATO", "MINT", "Stellar",
-                           "A100"};
+    const std::size_t pros_col = columnOf(speedup, "prosperity");
     for (int i = 0; i < 6; ++i) {
-        summary.addRow({names[i],
-                        Table::ratio(geometricMean(speedup_vs[names[i]])),
-                        paper_speed[i],
-                        Table::ratio(geometricMean(energy_vs[names[i]])),
-                        paper_energy[i]});
+        double s, e;
+        if (std::string(labels[i]) == "stellar") {
+            s = cnnOnlyAdvantage(report, labels[i], &secondsOf);
+            e = cnnOnlyAdvantage(report, labels[i], &energyOf);
+        } else {
+            const std::size_t col = columnOf(speedup, labels[i]);
+            s = speedup.geomean[pros_col] / speedup.geomean[col];
+            e = energy.geomean[pros_col] / energy.geomean[col];
+        }
+        summary.addRow({labels[i], Table::ratio(s), paper_speed[i],
+                        Table::ratio(e), paper_energy[i]});
     }
     summary.print(std::cout);
     return 0;

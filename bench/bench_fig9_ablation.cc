@@ -2,9 +2,10 @@
  * @file
  * Fig. 9 reproduction: ablation of Prosperity's design steps, averaged
  * over all evaluated models and normalized to the dense Eyeriss
- * baseline. Every configuration — including the ablated Prosperity
- * variants — is expressed as a registry spec (name + params) and the
- * whole campaign runs as one SimulationEngine batch.
+ * baseline. The configurations — including the ablated Prosperity
+ * variants — live in campaigns/fig9.json as labeled registry specs;
+ * this file runs the spec through the shared CampaignRunner and prints
+ * the ablation ladder from the report's derived speedup table.
  *
  *   Eyeriss (dense)                 1.00x
  *   PTB (structured bit sparsity)   2.62x
@@ -14,37 +15,43 @@
  */
 
 #include <iostream>
-#include <vector>
 
-#include "analysis/engine.h"
-#include "sim/table.h"
+#include "analysis/campaign.h"
 
 using namespace prosperity;
 
 int
 main()
 {
-    const std::vector<AcceleratorSpec> specs = {
-        {"eyeriss"},
-        {"ptb"},
-        {"prosperity", AcceleratorParams{{"sparsity", "bit"}}},
-        {"prosperity", AcceleratorParams{{"dispatch", "traversal"}}},
-        {"prosperity"},
-    };
-
     SimulationEngine engine;
-    const auto grid = engine.runGrid(specs, fig8Suite());
+    CampaignRunner runner(engine);
+    const CampaignSpec spec = loadNamedCampaign("fig9");
+    const CampaignReport report = runner.run(spec);
 
-    std::vector<std::vector<double>> speedups(specs.size());
-    for (const auto& results : grid) {
-        const double base = results.front().seconds();
-        for (std::size_t i = 0; i < results.size(); ++i)
-            speedups[i].push_back(base / results[i].seconds());
+    // Column order in the derived table is the spec's axis order:
+    // each column's geomean speedup is one rung of the ladder.
+    const DerivedTable speedup = report.speedupTable();
+
+    // The paper annotations below are positional over the expected
+    // ladder; refuse to run a drifted spec (count *or* order) rather
+    // than mislabel its columns.
+    const char* ladder[] = {"eyeriss", "ptb", "prosperity-bit",
+                            "prosperity-traversal", "prosperity"};
+    if (speedup.columns.size() != 5) {
+        std::cerr << "campaigns/fig9.json no longer matches the Fig. 9 "
+                     "ablation ladder (expected 5 accelerators, got "
+                  << speedup.columns.size() << ")\n";
+        return 1;
     }
-
-    std::vector<double> geo(specs.size());
-    for (std::size_t i = 0; i < specs.size(); ++i)
-        geo[i] = geometricMean(speedups[i]);
+    for (std::size_t i = 0; i < speedup.columns.size(); ++i) {
+        if (speedup.columns[i] != ladder[i]) {
+            std::cerr << "campaigns/fig9.json no longer matches the "
+                         "Fig. 9 ablation ladder (column " << i
+                      << " is \"" << speedup.columns[i]
+                      << "\", expected \"" << ladder[i] << "\")\n";
+            return 1;
+        }
+    }
 
     const char* labels[] = {
         "Eyeriss (dense)",
@@ -55,22 +62,24 @@ main()
     };
     const char* paper[] = {"1.00x", "2.62x", "5.97x", "12.87x",
                            "19.12x"};
+    const char* paper_step[] = {"-", "2.62x", "2.28x", "2.16x", "1.49x"};
 
     Table table("Fig. 9 — ablation study (geomean over all workloads, "
                 "normalized to dense)");
     table.setHeader({"configuration", "speedup", "(paper)",
                      "step vs previous", "(paper step)"});
-    const char* paper_step[] = {"-", "2.62x", "2.28x", "2.16x", "1.49x"};
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        const double step = i == 0 ? 1.0 : geo[i] / geo[i - 1];
-        table.addRow({labels[i], Table::ratio(geo[i]), paper[i],
+    for (std::size_t i = 0; i < speedup.columns.size(); ++i) {
+        const double geo = speedup.geomean[i];
+        const double step =
+            i == 0 ? 1.0 : geo / speedup.geomean[i - 1];
+        table.addRow({labels[i], Table::ratio(geo), paper[i],
                       i == 0 ? "-" : Table::ratio(step),
                       paper_step[i]});
     }
     table.print(std::cout);
 
     std::cout << "ProSparsity total gain over bit sparsity: "
-              << Table::ratio(geo[4] / geo[2], 1)
+              << Table::ratio(speedup.geomean[4] / speedup.geomean[2], 1)
               << " (paper: 3.2x average)\n";
     return 0;
 }

@@ -6,6 +6,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "util/json.h"
+
 namespace prosperity::bench {
 
 namespace {
@@ -14,36 +16,16 @@ namespace {
 std::string
 jsonEscape(const std::string& s)
 {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        case '\r': out += "\\r"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                std::ostringstream esc;
-                esc << "\\u" << std::hex << std::setw(4)
-                    << std::setfill('0') << static_cast<int>(c);
-                out += esc.str();
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
+    return json::escape(s);
 }
 
 std::string
 jsonNumber(double v)
 {
-    std::ostringstream os;
-    os.precision(12);
-    os << v;
-    return os.str();
+    // Locale-independent and round-trip exact, so BENCH_*.json files
+    // are byte-stable across environments (satellite of the campaign
+    // redesign; shared with campaign reports and CSV export).
+    return json::formatDouble(v);
 }
 
 void

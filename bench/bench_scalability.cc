@@ -3,38 +3,34 @@
  * Sec. VIII reproduction: architecture scalability. The paper discusses
  * (as future extensions) intra-PPU parallelism — issuing multiple
  * independent ProSparsity-forest nodes per cycle — and inter-PPU
- * parallelism — distributing tiles across several PPUs. This bench
- * quantifies both on representative workloads, including where the
- * shared DRAM channel caps the scaling. Every design point is a
- * registry spec ("prosperity" + params), simulated through a shared
- * SimulationEngine whose memoization dedupes the repeated baselines.
+ * parallelism — distributing tiles across several PPUs. Every design
+ * point is a labeled Prosperity spec in campaigns/scalability.json
+ * ("w1".."w8" sweep issue width, "p2".."p8" sweep PPU count); this
+ * file runs the campaign once and slices the report two ways.
  */
 
 #include <iostream>
+#include <stdexcept>
 
-#include "analysis/engine.h"
+#include "analysis/campaign.h"
 #include "arch/area_model.h"
-#include "sim/table.h"
 
 using namespace prosperity;
 
 namespace {
 
-AcceleratorSpec
-prosperitySpec(std::size_t issue_width, std::size_t num_ppus)
-{
-    AcceleratorParams params;
-    params.set("issue_width", issue_width);
-    params.set("num_ppus", num_ppus);
-    params.set("max_sampled_tiles", std::size_t{48});
-    return {"prosperity", params};
-}
-
 double
-workloadSeconds(SimulationEngine& engine, const AcceleratorSpec& spec,
-                const Workload& w)
+labelSeconds(const CampaignReport& report, const std::string& label,
+             const std::string& workload)
 {
-    return engine.run(SimulationJob{spec, w, {}}).seconds();
+    const RunResult* result = report.find(label, workload);
+    // The spec is external data now: a missing design point must be a
+    // hard failure, not a 0-second sentinel that prints as "infx".
+    if (!result)
+        throw std::runtime_error(
+            "campaigns/scalability.json has no cell for \"" + label +
+            "\" on " + workload);
+    return result->seconds();
 }
 
 } // namespace
@@ -42,25 +38,21 @@ workloadSeconds(SimulationEngine& engine, const AcceleratorSpec& spec,
 int
 main()
 {
-    const Workload workloads[] = {
-        makeWorkload(ModelId::kVgg16, DatasetId::kCifar100),
-        makeWorkload(ModelId::kSpikeBert, DatasetId::kSst2),
-    };
     SimulationEngine engine;
+    CampaignRunner runner(engine);
+    const CampaignSpec spec = loadNamedCampaign("scalability");
+    const CampaignReport report = runner.run(spec);
 
     {
         Table table("Sec. VIII-A — intra-PPU parallelism (issue width)");
         table.setHeader({"workload", "w=1", "w=2 speedup", "w=4 speedup",
                          "w=8 speedup"});
-        for (const Workload& w : workloads) {
-            const double base =
-                workloadSeconds(engine, prosperitySpec(1, 1), w);
+        for (const Workload& w : spec.workloads) {
+            const double base = labelSeconds(report, "w1", w.name());
             std::vector<std::string> row = {w.name(), "1.00x"};
-            for (std::size_t width : {2u, 4u, 8u}) {
-                const double s =
-                    workloadSeconds(engine, prosperitySpec(width, 1), w);
-                row.push_back(Table::ratio(base / s));
-            }
+            for (const char* label : {"w2", "w4", "w8"})
+                row.push_back(Table::ratio(
+                    base / labelSeconds(report, label, w.name())));
             table.addRow(row);
         }
         table.print(std::cout);
@@ -73,15 +65,12 @@ main()
         Table table("Sec. VIII-B — inter-PPU parallelism (PPU count)");
         table.setHeader({"workload", "1 PPU", "2 PPUs", "4 PPUs",
                          "8 PPUs", "area 8 PPUs (mm^2)"});
-        for (const Workload& w : workloads) {
-            const double base =
-                workloadSeconds(engine, prosperitySpec(1, 1), w);
+        for (const Workload& w : spec.workloads) {
+            const double base = labelSeconds(report, "w1", w.name());
             std::vector<std::string> row = {w.name(), "1.00x"};
-            for (std::size_t ppus : {2u, 4u, 8u}) {
-                const double s =
-                    workloadSeconds(engine, prosperitySpec(1, ppus), w);
-                row.push_back(Table::ratio(base / s));
-            }
+            for (const char* label : {"p2", "p4", "p8"})
+                row.push_back(Table::ratio(
+                    base / labelSeconds(report, label, w.name())));
             ProsperityConfig config;
             config.num_ppus = 8;
             row.push_back(

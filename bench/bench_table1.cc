@@ -3,14 +3,17 @@
  * Table I reproduction: VGG-16 comparison of Dense, PTB (structured
  * bit sparsity), Stellar (FS-neuron bit sparsity) and Prosperity
  * (unstructured ProSparsity): densities and speedup over dense.
+ *
+ * The speedup lineup is campaigns/table1.json executed through the
+ * shared CampaignRunner; the density columns come from the density
+ * analyzer as before.
  */
 
 #include <iostream>
 
+#include "analysis/campaign.h"
 #include "analysis/density.h"
-#include "analysis/engine.h"
 #include "baselines/stellar.h"
-#include "sim/table.h"
 
 using namespace prosperity;
 
@@ -27,28 +30,35 @@ main()
     const double fs_density = StellarAccelerator::fsDensity(bit_density);
     const double pro_density = density.productDensity();
 
-    // Speedups over the dense baseline.
-    const std::vector<AcceleratorSpec> specs = {
-        {"eyeriss"}, {"ptb"}, {"stellar"}, {"prosperity"}};
+    // Speedups over the dense baseline, from the campaign's derived
+    // speedup table (columns follow the spec's accelerator order).
     SimulationEngine engine;
-    const auto results = engine.runGrid(specs, {w}).front();
-    const double dense_s = results[0].seconds();
+    CampaignRunner runner(engine);
+    const CampaignReport report = runner.run(loadNamedCampaign("table1"));
+    const DerivedTable speedup = report.speedupTable();
+    // The row labels below are positional; refuse a drifted spec.
+    if (speedup.rows.size() != 1 || speedup.columns.size() != 4) {
+        std::cerr << "campaigns/table1.json no longer matches Table I "
+                     "(expected 4 accelerators x 1 workload)\n";
+        return 1;
+    }
+    const std::vector<double>& row = speedup.values.front();
 
     Table table("Table I — comparison with previous work on VGG-16 "
                 "(CIFAR100)");
     table.setHeader({"study", "sparsity", "pattern", "bit density",
                      "pro density", "speedup", "(paper speedup)"});
-    table.addRow({"Dense", "None", "-", "100.00%", "100.00%", "1.00x",
-                  "1.00x"});
+    table.addRow({"Dense", "None", "-", "100.00%", "100.00%",
+                  Table::ratio(row[0]), "1.00x"});
     table.addRow({"PTB", "Structured", "BitSparsity",
-                  Table::pct(bit_density), "-",
-                  Table::ratio(dense_s / results[1].seconds()), "1.86x"});
+                  Table::pct(bit_density), "-", Table::ratio(row[1]),
+                  "1.86x"});
     table.addRow({"Stellar", "Structured", "BitSparsity(FS)",
-                  Table::pct(fs_density), "-",
-                  Table::ratio(dense_s / results[2].seconds()), "5.97x"});
+                  Table::pct(fs_density), "-", Table::ratio(row[2]),
+                  "5.97x"});
     table.addRow({"Prosperity", "Unstructured", "ProSparsity",
                   Table::pct(bit_density), Table::pct(pro_density),
-                  Table::ratio(dense_s / results[3].seconds()), "17.55x"});
+                  Table::ratio(row[3]), "17.55x"});
     table.print(std::cout);
 
     std::cout << "ProSparsity computation reduction vs bit sparsity: "

@@ -2,40 +2,55 @@
  * @file
  * Table IV reproduction: accelerator comparison on VGG-16/CIFAR100 —
  * PEs, area, throughput (GOP/s), energy efficiency (GOP/J) and area
- * efficiency (GOP/s/mm^2), with ratios normalized to Eyeriss. Designs
- * are constructed by name through the AcceleratorRegistry and the
- * comparison runs as one SimulationEngine batch.
+ * efficiency (GOP/s/mm^2), with ratios normalized to Eyeriss. The
+ * lineup is campaigns/table4.json executed through the shared
+ * CampaignRunner; static design properties (PEs, area) come from a
+ * registry-built instance of each cell's own accelerator spec.
  */
 
 #include <iostream>
-#include <vector>
 
-#include "analysis/engine.h"
-#include "sim/table.h"
+#include "analysis/campaign.h"
 
 using namespace prosperity;
 
 int
 main()
 {
-    const Workload w = makeWorkload(ModelId::kVgg16, DatasetId::kCifar100);
-
-    const std::vector<AcceleratorSpec> specs = {
-        {"eyeriss"}, {"sato"}, {"ptb"},
-        {"mint"},    {"stellar"}, {"prosperity"},
-    };
-
     SimulationEngine engine;
-    const auto results = engine.runGrid(specs, {w}).front();
+    CampaignRunner runner(engine);
+    const CampaignSpec spec = loadNamedCampaign("table4");
+    const CampaignReport report = runner.run(spec);
 
-    // Paper reference values (Table IV): GOP/s, GOP/J.
+    // Paper reference values (Table IV): GOP/s, GOP/J. Positional over
+    // the expected lineup — refuse a drifted spec (count *or* order)
+    // rather than mislabel its rows or normalize to the wrong baseline.
+    const char* lineup[] = {"eyeriss", "sato",    "ptb",
+                            "mint",    "stellar", "prosperity"};
     const char* paper_gops[] = {"29.40", "33.63", "41.37",
                                 "62.07", "190.44", "390.10"};
     const char* paper_gopj[] = {"16.67", "49.70", "34.15",
                                 "75.61", "142.98", "299.80"};
+    if (report.cells.size() != 6) {
+        std::cerr << "campaigns/table4.json no longer matches Table IV "
+                     "(expected 6 cells, got " << report.cells.size()
+                  << ")\n";
+        return 1;
+    }
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        const std::string& label =
+            spec.accelerators[report.cells[i].accelerator_index].label;
+        if (label != lineup[i]) {
+            std::cerr << "campaigns/table4.json no longer matches Table "
+                         "IV (cell " << i << " is \"" << label
+                      << "\", expected \"" << lineup[i] << "\")\n";
+            return 1;
+        }
+    }
 
-    const double base_gops = results[0].gops();
-    const double base_gopj = results[0].gopj();
+    const RunResult& base = report.cells.front().result;
+    const double base_gops = base.gops();
+    const double base_gopj = base.gopj();
 
     Table table("Table IV — accelerator comparison on VGG-16/CIFAR100 "
                 "(500 MHz, 28 nm)");
@@ -43,12 +58,12 @@ main()
                      "vs Eyeriss", "GOP/J", "(paper)", "vs Eyeriss",
                      "GOP/s/mm^2"});
     const AcceleratorRegistry& registry = AcceleratorRegistry::instance();
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        const RunResult& r = results[i];
-        // Static design properties come from a registry-built instance
-        // of the same spec the run used.
-        const auto design = registry.create(specs[i].name,
-                                            specs[i].params);
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        const CampaignCell& cell = report.cells[i];
+        const RunResult& r = cell.result;
+        const AcceleratorSpec& accel =
+            spec.accelerators[cell.accelerator_index].spec;
+        const auto design = registry.create(accel.name, accel.params);
         table.addRow({r.accelerator,
                       std::to_string(design->numPes()),
                       Table::num(design->areaMm2(), 3),

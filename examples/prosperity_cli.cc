@@ -10,64 +10,41 @@
  *       full lineup. --csv prints machine-readable rows.
  *   prosperity_cli density <model> <dataset> [--two-prefix]
  *       Sparsity analysis of the workload.
+ *   prosperity_cli campaign <spec.json> [--out report.json]
+ *                  [--csv-out report.csv] [--quiet]
+ *       Execute a declarative campaign spec (campaigns/<name>.json or
+ *       any path; a bare name resolves against the checked-in
+ *       campaigns directory). Streams per-job progress, prints the
+ *       derived speedup / energy-efficiency tables, and optionally
+ *       writes the structured JSON / CSV report.
  *
  * Accelerators are constructed by name through the
  * AcceleratorRegistry and simulated through the SimulationEngine, so
- * "all" runs the whole lineup across the machine's cores.
+ * campaigns run across the machine's cores.
  *
  * Examples:
  *   prosperity_cli run VGG16 CIFAR100
  *   prosperity_cli run SpikeBERT SST-2 Prosperity --csv
  *   prosperity_cli density Spikformer CIFAR10 --two-prefix
+ *   prosperity_cli campaign campaigns/fig8.json --out fig8.report.json
+ *   prosperity_cli campaign smoke
  */
 
 #include <cstring>
 #include <iostream>
-#include <optional>
 #include <vector>
 
+#include "analysis/campaign.h"
 #include "analysis/density.h"
-#include "analysis/engine.h"
 #include "analysis/export.h"
-#include "arch/registry.h"
-#include "sim/table.h"
 
 using namespace prosperity;
 
 namespace {
 
-const ModelId kModels[] = {
-    ModelId::kVgg16,      ModelId::kVgg9,     ModelId::kResNet18,
-    ModelId::kLeNet5,     ModelId::kSpikformer, ModelId::kSdt,
-    ModelId::kSpikeBert,  ModelId::kSpikingBert,
-};
-const DatasetId kDatasets[] = {
-    DatasetId::kCifar10, DatasetId::kCifar100, DatasetId::kCifar10Dvs,
-    DatasetId::kMnist,   DatasetId::kSst2,     DatasetId::kSst5,
-    DatasetId::kMr,      DatasetId::kQqp,      DatasetId::kMnli,
-};
-
 /** Comparison lineup of `run ... all`, Fig. 8 column order. */
 const char* kLineup[] = {"eyeriss", "ptb",  "sato",       "mint",
                          "stellar", "a100", "prosperity"};
-
-std::optional<ModelId>
-parseModel(const std::string& name)
-{
-    for (ModelId id : kModels)
-        if (name == modelName(id))
-            return id;
-    return std::nullopt;
-}
-
-std::optional<DatasetId>
-parseDataset(const std::string& name)
-{
-    for (DatasetId id : kDatasets)
-        if (name == datasetName(id))
-            return id;
-    return std::nullopt;
-}
 
 int
 usage()
@@ -77,7 +54,9 @@ usage()
         << "  prosperity_cli list\n"
         << "  prosperity_cli run <model> <dataset> [accelerator|all]"
            " [--csv]\n"
-        << "  prosperity_cli density <model> <dataset> [--two-prefix]\n";
+        << "  prosperity_cli density <model> <dataset> [--two-prefix]\n"
+        << "  prosperity_cli campaign <spec.json> [--out report.json]"
+           " [--csv-out report.csv] [--quiet]\n";
     return 2;
 }
 
@@ -85,10 +64,10 @@ int
 cmdList()
 {
     std::cout << "models:";
-    for (ModelId id : kModels)
+    for (ModelId id : allModels())
         std::cout << ' ' << modelName(id);
     std::cout << "\ndatasets:";
-    for (DatasetId id : kDatasets)
+    for (DatasetId id : allDatasets())
         std::cout << ' ' << datasetName(id);
     std::cout << "\naccelerators:";
     const AcceleratorRegistry& registry = AcceleratorRegistry::instance();
@@ -162,6 +141,99 @@ cmdDensity(const Workload& workload, bool two_prefix)
     return 0;
 }
 
+int
+cmdCampaign(int argc, char** argv)
+{
+    std::string spec_path, out_json, out_csv;
+    bool quiet = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--out" || arg == "--csv-out") {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a file argument\n";
+                return usage();
+            }
+            (arg == "--out" ? out_json : out_csv) = argv[++i];
+        } else if (spec_path.empty()) {
+            spec_path = arg;
+        } else {
+            std::cerr << "unexpected argument: " << arg << '\n';
+            return usage();
+        }
+    }
+    if (spec_path.empty()) {
+        std::cerr << "campaign needs a spec file (or checked-in "
+                     "campaign name)\n";
+        return usage();
+    }
+
+    CampaignSpec spec;
+    try {
+        // A bare name ("smoke") resolves against the checked-in
+        // campaigns directory; anything with a path or extension is
+        // loaded as given.
+        const bool bare =
+            spec_path.find('/') == std::string::npos &&
+            spec_path.find(".json") == std::string::npos;
+        spec = bare ? loadNamedCampaign(spec_path)
+                    : CampaignSpec::load(spec_path);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+    }
+
+    if (!quiet && !spec.description.empty())
+        std::cout << spec.name << ": " << spec.description << '\n';
+
+    SimulationEngine engine;
+    CampaignRunner runner(engine);
+    CampaignRunner::ProgressCallback progress;
+    if (!quiet) {
+        progress = [](const CampaignProgress& p) {
+            std::cout << "  [" << p.completed << '/' << p.total << "] "
+                      << p.result->accelerator << " on "
+                      << p.result->workload << ": "
+                      << Table::num(p.result->seconds() * 1e3, 3)
+                      << " ms\n";
+        };
+    }
+
+    CampaignReport report;
+    try {
+        report = runner.run(spec, progress);
+    } catch (const std::exception& e) {
+        std::cerr << "campaign failed: " << e.what() << '\n';
+        return 1;
+    }
+
+    toTable(report.speedupTable(),
+            "Speedup vs " + spec.baselineLabel() + " — " + spec.name)
+        .print(std::cout);
+    std::cout << '\n';
+    toTable(report.energyEfficiencyTable(),
+            "Energy efficiency vs " + spec.baselineLabel() + " — " +
+                spec.name)
+        .print(std::cout);
+
+    if (!out_json.empty()) {
+        if (!report.writeJsonFile(out_json)) {
+            std::cerr << "cannot write " << out_json << '\n';
+            return 1;
+        }
+        std::cout << "report written to " << out_json << '\n';
+    }
+    if (!out_csv.empty()) {
+        if (!report.writeCsvFile(out_csv)) {
+            std::cerr << "cannot write " << out_csv << '\n';
+            return 1;
+        }
+        std::cout << "CSV written to " << out_csv << '\n';
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -172,11 +244,13 @@ main(int argc, char** argv)
     const std::string command = argv[1];
     if (command == "list")
         return cmdList();
+    if (command == "campaign")
+        return cmdCampaign(argc, argv);
     if (argc < 4)
         return usage();
 
-    const auto model = parseModel(argv[2]);
-    const auto dataset = parseDataset(argv[3]);
+    const auto model = modelFromName(argv[2]);
+    const auto dataset = datasetFromName(argv[3]);
     if (!model || !dataset) {
         std::cerr << "unknown model or dataset (try `prosperity_cli "
                      "list`)\n";

@@ -26,7 +26,8 @@ main()
     };
 
     const std::vector<AcceleratorSpec> specs = {
-        {"ptb"}, {"a100"}, {"prosperity"}};
+        AcceleratorSpec{"ptb"}, AcceleratorSpec{"a100"},
+        AcceleratorSpec{"prosperity"}};
     SimulationEngine engine;
     const auto grid = engine.runGrid(specs, workloads);
 

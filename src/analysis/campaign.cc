@@ -1,0 +1,892 @@
+#include "campaign.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "analysis/export.h"
+
+namespace prosperity {
+
+bool
+operator==(const CampaignAccelerator& a, const CampaignAccelerator& b)
+{
+    return a.label == b.label && a.spec == b.spec;
+}
+
+bool
+operator==(const CampaignSpec& a, const CampaignSpec& b)
+{
+    return a.name == b.name && a.description == b.description &&
+           a.expansion == b.expansion && a.baseline == b.baseline &&
+           a.accelerators == b.accelerators &&
+           a.workloads == b.workloads && a.options == b.options;
+}
+
+std::vector<RunOptions>
+CampaignSpec::effectiveOptions() const
+{
+    return options.empty() ? std::vector<RunOptions>{RunOptions{}}
+                           : options;
+}
+
+std::string
+CampaignSpec::baselineLabel() const
+{
+    if (!baseline.empty())
+        return baseline;
+    return accelerators.empty() ? std::string() : accelerators.front().label;
+}
+
+namespace {
+
+[[noreturn]] void
+specError(const std::string& campaign, const std::string& message)
+{
+    const std::string who =
+        campaign.empty() ? "campaign spec" : "campaign \"" + campaign + '"';
+    throw std::invalid_argument(who + ": " + message);
+}
+
+} // namespace
+
+CampaignSpec::CampaignExpansion
+CampaignSpec::expand() const
+{
+    if (accelerators.empty())
+        specError(name, "the accelerator axis is empty — list at least "
+                        "one design point under \"accelerators\"");
+    if (workloads.empty())
+        specError(name, "the workload axis is empty — list at least one "
+                        "(model, dataset) pair under \"workloads\"");
+
+    std::set<std::string> labels;
+    for (const CampaignAccelerator& accel : accelerators)
+        if (!labels.insert(accel.label).second)
+            specError(name, "duplicate accelerator label \"" +
+                                accel.label +
+                                "\" — give each design point a unique "
+                                "\"label\"");
+    if (!labels.count(baselineLabel()))
+        specError(name, "baseline \"" + baselineLabel() +
+                            "\" does not match any accelerator label");
+
+    const std::vector<RunOptions> opts = effectiveOptions();
+
+    CampaignExpansion out;
+    std::map<std::string, std::size_t> job_index_of;
+    const auto addCell = [&](std::size_t a, std::size_t w,
+                             std::size_t o) {
+        SimulationJob job{accelerators[a].spec, workloads[w], opts[o]};
+        const std::string key = SimulationEngine::jobKey(job);
+        const auto [it, inserted] =
+            job_index_of.emplace(key, out.jobs.size());
+        if (inserted)
+            out.jobs.push_back(std::move(job));
+        out.cells.push_back(Cell{a, w, o, it->second});
+    };
+
+    if (expansion == Expansion::kCross) {
+        for (std::size_t o = 0; o < opts.size(); ++o)
+            for (std::size_t w = 0; w < workloads.size(); ++w)
+                for (std::size_t a = 0; a < accelerators.size(); ++a)
+                    addCell(a, w, o);
+        return out;
+    }
+
+    // Zip: all axes of length n or 1 advance together.
+    std::size_t n = 1;
+    for (const std::size_t len :
+         {accelerators.size(), workloads.size(), opts.size()}) {
+        if (len == 1)
+            continue;
+        if (n != 1 && len != n)
+            specError(name,
+                      "zip expansion needs every axis to have the same "
+                      "length (or length 1): accelerators=" +
+                          std::to_string(accelerators.size()) +
+                          ", workloads=" +
+                          std::to_string(workloads.size()) + ", options=" +
+                          std::to_string(opts.size()));
+        n = len;
+    }
+    const auto pick = [n](std::size_t len, std::size_t i) {
+        (void)n;
+        return len == 1 ? std::size_t{0} : i;
+    };
+    for (std::size_t i = 0; i < n; ++i)
+        addCell(pick(accelerators.size(), i), pick(workloads.size(), i),
+                pick(opts.size(), i));
+    return out;
+}
+
+std::vector<SimulationJob>
+CampaignSpec::expandJobs() const
+{
+    return expand().jobs;
+}
+
+// --- JSON parsing -----------------------------------------------------
+
+namespace {
+
+[[noreturn]] void
+parseError(const std::string& context, const std::string& message)
+{
+    throw std::invalid_argument("campaign spec: " + context + ": " +
+                                message);
+}
+
+const json::Value&
+requireObject(const json::Value& value, const std::string& context)
+{
+    if (!value.isObject())
+        parseError(context, std::string("expected an object, got ") +
+                                json::Value::typeName(value.type()));
+    return value;
+}
+
+/** Reject unknown keys so a typo fails loudly instead of silently
+ *  configuring defaults. */
+void
+expectOnlyKeys(const json::Value& object,
+               std::initializer_list<const char*> known,
+               const std::string& context)
+{
+    for (const auto& [key, value] : object.asObject()) {
+        (void)value;
+        bool recognized = false;
+        for (const char* k : known)
+            if (key == k) {
+                recognized = true;
+                break;
+            }
+        if (!recognized) {
+            std::string roster;
+            for (const char* k : known) {
+                if (!roster.empty())
+                    roster += ", ";
+                roster += k;
+            }
+            parseError(context, "unknown key \"" + key +
+                                    "\" (accepted: " + roster + ")");
+        }
+    }
+}
+
+std::string
+requireString(const json::Value& object, const char* key,
+              const std::string& context)
+{
+    const json::Value* value = object.find(key);
+    if (!value)
+        parseError(context,
+                   std::string("missing required key \"") + key + '"');
+    if (!value->isString())
+        parseError(context, std::string("key \"") + key +
+                                "\" must be a string, got " +
+                                json::Value::typeName(value->type()));
+    return value->asString();
+}
+
+std::string
+optionalString(const json::Value& object, const char* key,
+               const std::string& fallback, const std::string& context)
+{
+    const json::Value* value = object.find(key);
+    if (!value)
+        return fallback;
+    if (!value->isString())
+        parseError(context, std::string("key \"") + key +
+                                "\" must be a string, got " +
+                                json::Value::typeName(value->type()));
+    return value->asString();
+}
+
+double
+requireNumberValue(const json::Value& value, const std::string& context)
+{
+    if (!value.isNumber())
+        parseError(context, std::string("expected a number, got ") +
+                                json::Value::typeName(value.type()));
+    return value.asNumber();
+}
+
+std::size_t
+requireSizeValue(const json::Value& value, const std::string& context)
+{
+    const double v = requireNumberValue(value, context);
+    if (v < 0.0 || v != std::floor(v))
+        parseError(context, "expected a non-negative integer, got " +
+                                json::formatDouble(v));
+    // JSON numbers are doubles: integers above 2^53 would be silently
+    // rounded (a seed would select a different RNG stream than
+    // written), so reject them instead. >= because 2^53+1 itself
+    // rounds down to exactly 2^53 during parsing and would otherwise
+    // slip through.
+    if (v >= 9007199254740992.0)
+        parseError(context, json::formatDouble(v) +
+                                " exceeds 2^53 and cannot be "
+                                "represented exactly in JSON");
+    return static_cast<std::size_t>(v);
+}
+
+const json::Value::Array&
+requireArray(const json::Value& object, const char* key,
+             const std::string& context)
+{
+    const json::Value* value = object.find(key);
+    if (!value)
+        parseError(context,
+                   std::string("missing required key \"") + key + '"');
+    if (!value->isArray())
+        parseError(context, std::string("key \"") + key +
+                                "\" must be an array, got " +
+                                json::Value::typeName(value->type()));
+    return value->asArray();
+}
+
+CampaignAccelerator
+parseAccelerator(const json::Value& value, const std::string& context)
+{
+    requireObject(value, context);
+    expectOnlyKeys(value, {"label", "name", "params"}, context);
+    CampaignAccelerator accel;
+    accel.spec.name = requireString(value, "name", context);
+    if (const json::Value* params = value.find("params")) {
+        requireObject(*params, context + ".params");
+        for (const auto& [key, v] : params->asObject()) {
+            if (v.isString())
+                accel.spec.params.set(key, v.asString());
+            else if (v.isNumber())
+                accel.spec.params.set(
+                    key, json::formatDouble(v.asNumber()));
+            else
+                parseError(context + ".params",
+                           "value of \"" + key +
+                               "\" must be a string or number, got " +
+                               json::Value::typeName(v.type()));
+        }
+    }
+    accel.label = optionalString(
+        value, "label", AcceleratorRegistry::canonicalName(accel.spec.name),
+        context);
+    return accel;
+}
+
+ActivationProfile
+parseProfile(const json::Value& value, ActivationProfile profile,
+             const std::string& context)
+{
+    requireObject(value, context);
+    expectOnlyKeys(value,
+                   {"bit_density", "cluster_fraction", "bank_size",
+                    "subset_drop_prob", "temporal_repeat", "union_prob",
+                    "noise_insert_prob"},
+                   context);
+    for (const auto& [key, v] : value.asObject()) {
+        const std::string field_context = context + "." + key;
+        if (key == "bank_size") {
+            profile.bank_size = requireSizeValue(v, field_context);
+            continue;
+        }
+        const double number = requireNumberValue(v, field_context);
+        if (key == "bit_density")
+            profile.bit_density = number;
+        else if (key == "cluster_fraction")
+            profile.cluster_fraction = number;
+        else if (key == "subset_drop_prob")
+            profile.subset_drop_prob = number;
+        else if (key == "temporal_repeat")
+            profile.temporal_repeat = number;
+        else if (key == "union_prob")
+            profile.union_prob = number;
+        else if (key == "noise_insert_prob")
+            profile.noise_insert_prob = number;
+    }
+    return profile;
+}
+
+void
+parseWorkloadEntry(const json::Value& value, const std::string& context,
+                   std::vector<Workload>& out)
+{
+    requireObject(value, context);
+    if (const json::Value* suite = value.find("suite")) {
+        expectOnlyKeys(value, {"suite"}, context);
+        if (!suite->isString())
+            parseError(context, "\"suite\" must be a string");
+        const std::string& name = suite->asString();
+        std::vector<Workload> expanded;
+        if (name == "fig8")
+            expanded = fig8Suite();
+        else if (name == "fig11")
+            expanded = fig11Suite();
+        else
+            parseError(context, "unknown suite \"" + name +
+                                    "\" (known: fig8, fig11)");
+        out.insert(out.end(), expanded.begin(), expanded.end());
+        return;
+    }
+
+    expectOnlyKeys(value, {"model", "dataset", "profile"}, context);
+    const std::string model_name = requireString(value, "model", context);
+    const std::string dataset_name =
+        requireString(value, "dataset", context);
+    const std::optional<ModelId> model = modelFromName(model_name);
+    if (!model) {
+        std::string known;
+        for (ModelId id : allModels()) {
+            if (!known.empty())
+                known += ", ";
+            known += modelName(id);
+        }
+        parseError(context, "unknown model \"" + model_name +
+                                "\" (known: " + known + ")");
+    }
+    const std::optional<DatasetId> dataset =
+        datasetFromName(dataset_name);
+    if (!dataset) {
+        std::string known;
+        for (DatasetId id : allDatasets()) {
+            if (!known.empty())
+                known += ", ";
+            known += datasetName(id);
+        }
+        parseError(context, "unknown dataset \"" + dataset_name +
+                                "\" (known: " + known + ")");
+    }
+    Workload workload = makeWorkload(*model, *dataset);
+    if (const json::Value* profile = value.find("profile"))
+        workload.profile = parseProfile(*profile, workload.profile,
+                                        context + ".profile");
+    out.push_back(std::move(workload));
+}
+
+RunOptions
+parseRunOptions(const json::Value& value, const std::string& context)
+{
+    requireObject(value, context);
+    expectOnlyKeys(value, {"seed", "keep_layer_records"}, context);
+    RunOptions options;
+    if (const json::Value* seed = value.find("seed"))
+        options.seed = requireSizeValue(*seed, context + ".seed");
+    if (const json::Value* keep = value.find("keep_layer_records")) {
+        if (!keep->isBool())
+            parseError(context + ".keep_layer_records",
+                       std::string("expected a bool, got ") +
+                           json::Value::typeName(keep->type()));
+        options.keep_layer_records = keep->asBool();
+    }
+    return options;
+}
+
+} // namespace
+
+CampaignSpec
+CampaignSpec::fromJson(const json::Value& value)
+{
+    requireObject(value, "top level");
+    expectOnlyKeys(value,
+                   {"name", "description", "expansion", "baseline",
+                    "accelerators", "workloads", "options"},
+                   "top level");
+
+    CampaignSpec spec;
+    spec.name = requireString(value, "name", "top level");
+    spec.description =
+        optionalString(value, "description", "", "top level");
+    const std::string expansion =
+        optionalString(value, "expansion", "cross", "top level");
+    if (expansion == "cross")
+        spec.expansion = Expansion::kCross;
+    else if (expansion == "zip")
+        spec.expansion = Expansion::kZip;
+    else
+        parseError("top level", "unknown expansion \"" + expansion +
+                                    "\" (accepted: cross, zip)");
+
+    const json::Value::Array& accelerators =
+        requireArray(value, "accelerators", "top level");
+    for (std::size_t i = 0; i < accelerators.size(); ++i)
+        spec.accelerators.push_back(parseAccelerator(
+            accelerators[i], "accelerators[" + std::to_string(i) + "]"));
+
+    const json::Value::Array& workloads =
+        requireArray(value, "workloads", "top level");
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+        parseWorkloadEntry(workloads[i],
+                           "workloads[" + std::to_string(i) + "]",
+                           spec.workloads);
+
+    if (value.find("options")) {
+        const json::Value::Array& options =
+            requireArray(value, "options", "top level");
+        for (std::size_t i = 0; i < options.size(); ++i)
+            spec.options.push_back(parseRunOptions(
+                options[i], "options[" + std::to_string(i) + "]"));
+    }
+
+    spec.baseline = optionalString(value, "baseline", "", "top level");
+    // Validate axes, labels and baseline now so load-time errors point
+    // at the spec instead of surfacing at run time.
+    (void)spec.expand();
+    return spec;
+}
+
+CampaignSpec
+CampaignSpec::load(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw std::invalid_argument("cannot open campaign spec file: " +
+                                    path);
+    std::ostringstream text;
+    text << is.rdbuf();
+    try {
+        return fromJson(json::Value::parse(text.str()));
+    } catch (const std::exception& e) {
+        throw std::invalid_argument(path + ": " + e.what());
+    }
+}
+
+json::Value
+CampaignSpec::toJson() const
+{
+    // Keys whose absence equals their default (description, baseline,
+    // options) are omitted when defaulted, so fromJson(toJson(spec))
+    // reproduces the spec field for field.
+    json::Value root = json::Value::object();
+    root.set("name", name);
+    if (!description.empty())
+        root.set("description", description);
+    root.set("expansion",
+             expansion == Expansion::kCross ? "cross" : "zip");
+    if (!baseline.empty())
+        root.set("baseline", baseline);
+
+    json::Value accels = json::Value::array();
+    for (const CampaignAccelerator& accel : accelerators) {
+        json::Value entry = json::Value::object();
+        entry.set("label", accel.label);
+        entry.set("name", accel.spec.name);
+        if (!accel.spec.params.empty()) {
+            json::Value params = json::Value::object();
+            for (const auto& [key, v] : accel.spec.params.entries())
+                params.set(key, v);
+            entry.set("params", std::move(params));
+        }
+        accels.push(std::move(entry));
+    }
+    root.set("accelerators", std::move(accels));
+
+    json::Value works = json::Value::array();
+    for (const Workload& workload : workloads) {
+        json::Value entry = json::Value::object();
+        entry.set("model", modelName(workload.model_id));
+        entry.set("dataset", datasetName(workload.dataset_id));
+        // The calibrated profile is implied by (model, dataset); only
+        // user overrides need to be written out.
+        const ActivationProfile calibrated =
+            makeWorkload(workload.model_id, workload.dataset_id).profile;
+        if (workload.profile != calibrated) {
+            const ActivationProfile& p = workload.profile;
+            json::Value profile = json::Value::object();
+            profile.set("bit_density", p.bit_density);
+            profile.set("cluster_fraction", p.cluster_fraction);
+            profile.set("bank_size", p.bank_size);
+            profile.set("subset_drop_prob", p.subset_drop_prob);
+            profile.set("temporal_repeat", p.temporal_repeat);
+            profile.set("union_prob", p.union_prob);
+            profile.set("noise_insert_prob", p.noise_insert_prob);
+            entry.set("profile", std::move(profile));
+        }
+        works.push(std::move(entry));
+    }
+    root.set("workloads", std::move(works));
+
+    if (!options.empty()) {
+        json::Value opts = json::Value::array();
+        for (const RunOptions& o : options) {
+            // Mirror of requireSizeValue's 2^53 guard: refuse to write
+            // a spec that could not parse back to the same seed.
+            if (o.seed >= (std::uint64_t{1} << 53))
+                throw std::invalid_argument(
+                    "campaign \"" + name + "\": seed " +
+                    std::to_string(o.seed) +
+                    " exceeds 2^53 and cannot be represented exactly "
+                    "in JSON");
+            json::Value entry = json::Value::object();
+            entry.set("seed", static_cast<double>(o.seed));
+            entry.set("keep_layer_records", o.keep_layer_records);
+            opts.push(std::move(entry));
+        }
+        root.set("options", std::move(opts));
+    }
+    return root;
+}
+
+bool
+CampaignSpec::save(const std::string& path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    toJson().write(os, 2);
+    os << '\n';
+    return static_cast<bool>(os.flush());
+}
+
+std::string
+defaultCampaignDir()
+{
+    if (const char* env = std::getenv("PROSPERITY_CAMPAIGN_DIR"))
+        return env;
+#ifdef PROSPERITY_CAMPAIGN_DIR
+    return PROSPERITY_CAMPAIGN_DIR;
+#else
+    return "campaigns";
+#endif
+}
+
+CampaignSpec
+loadNamedCampaign(const std::string& name)
+{
+    return CampaignSpec::load(defaultCampaignDir() + "/" + name +
+                              ".json");
+}
+
+// --- Report -----------------------------------------------------------
+
+const CampaignCell*
+CampaignReport::cell(std::size_t accelerator_index,
+                     std::size_t workload_index,
+                     std::size_t option_index) const
+{
+    for (const CampaignCell& c : cells)
+        if (c.accelerator_index == accelerator_index &&
+            c.workload_index == workload_index &&
+            c.option_index == option_index)
+            return &c;
+    return nullptr;
+}
+
+const RunResult*
+CampaignReport::find(const std::string& accelerator_label,
+                     const std::string& workload_name,
+                     std::size_t option_index) const
+{
+    for (const CampaignCell& c : cells) {
+        if (c.option_index != option_index)
+            continue;
+        if (spec.accelerators[c.accelerator_index].label !=
+            accelerator_label)
+            continue;
+        if (spec.workloads[c.workload_index].name() != workload_name)
+            continue;
+        return &c.result;
+    }
+    return nullptr;
+}
+
+namespace {
+
+DerivedTable
+deriveTable(const CampaignReport& report, const std::string& metric,
+            double (*value_of)(const RunResult&))
+{
+    const CampaignSpec& spec = report.spec;
+    DerivedTable table;
+    table.metric = metric;
+    table.baseline = spec.baselineLabel();
+    std::size_t baseline_index = 0;
+    for (std::size_t a = 0; a < spec.accelerators.size(); ++a) {
+        table.columns.push_back(spec.accelerators[a].label);
+        if (spec.accelerators[a].label == table.baseline)
+            baseline_index = a;
+    }
+
+    // One pass over the cells up front; the nested loops below would
+    // otherwise pay an O(cells) scan per grid position.
+    std::map<std::tuple<std::size_t, std::size_t, std::size_t>,
+             const CampaignCell*>
+        cell_at;
+    for (const CampaignCell& c : report.cells)
+        cell_at.emplace(std::make_tuple(c.accelerator_index,
+                                        c.workload_index,
+                                        c.option_index),
+                        &c);
+    const auto cellAt = [&](std::size_t a, std::size_t w,
+                            std::size_t o) -> const CampaignCell* {
+        const auto it = cell_at.find(std::make_tuple(a, w, o));
+        return it == cell_at.end() ? nullptr : it->second;
+    };
+
+    const std::vector<RunOptions> opts = spec.effectiveOptions();
+    for (std::size_t o = 0; o < opts.size(); ++o) {
+        for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+            const CampaignCell* base = cellAt(baseline_index, w, o);
+            std::vector<double> row(spec.accelerators.size(),
+                                    std::nan(""));
+            bool any = false;
+            for (std::size_t a = 0; a < spec.accelerators.size(); ++a)
+                if (const CampaignCell* c = cellAt(a, w, o)) {
+                    any = true;
+                    // A zip row may have no baseline cell: its ratios
+                    // are undefined (NaN / null), but the row stays so
+                    // every simulated cell appears in the table.
+                    if (base)
+                        row[a] = value_of(base->result) /
+                                 value_of(c->result);
+                }
+            if (!any)
+                continue; // grid position never simulated
+            std::string label = spec.workloads[w].name();
+            if (opts.size() > 1)
+                label += " @seed " + std::to_string(opts[o].seed);
+            table.rows.push_back(std::move(label));
+            table.values.push_back(std::move(row));
+        }
+    }
+
+    table.geomean.assign(table.columns.size(), std::nan(""));
+    for (std::size_t a = 0; a < table.columns.size(); ++a) {
+        double log_sum = 0.0;
+        std::size_t count = 0;
+        for (const std::vector<double>& row : table.values) {
+            if (std::isnan(row[a]) || row[a] <= 0.0)
+                continue;
+            log_sum += std::log(row[a]);
+            ++count;
+        }
+        if (count)
+            table.geomean[a] =
+                std::exp(log_sum / static_cast<double>(count));
+    }
+    return table;
+}
+
+double
+secondsOf(const RunResult& r)
+{
+    return r.seconds();
+}
+
+double
+energyOf(const RunResult& r)
+{
+    return r.energy.totalPj();
+}
+
+json::Value
+derivedTableJson(const DerivedTable& table)
+{
+    json::Value value = json::Value::object();
+    value.set("metric", table.metric);
+    value.set("baseline", table.baseline);
+    json::Value columns = json::Value::array();
+    for (const std::string& c : table.columns)
+        columns.push(c);
+    value.set("columns", std::move(columns));
+    json::Value rows = json::Value::array();
+    for (std::size_t i = 0; i < table.rows.size(); ++i) {
+        json::Value row = json::Value::object();
+        row.set("label", table.rows[i]);
+        json::Value values = json::Value::array();
+        for (double v : table.values[i])
+            values.push(v); // NaN serializes as null
+        row.set("values", std::move(values));
+        rows.push(std::move(row));
+    }
+    value.set("rows", std::move(rows));
+    json::Value geomean = json::Value::array();
+    for (double v : table.geomean)
+        geomean.push(v);
+    value.set("geomean", std::move(geomean));
+    return value;
+}
+
+} // namespace
+
+DerivedTable
+CampaignReport::speedupTable() const
+{
+    return deriveTable(*this, "speedup", &secondsOf);
+}
+
+DerivedTable
+CampaignReport::energyEfficiencyTable() const
+{
+    return deriveTable(*this, "energy_efficiency", &energyOf);
+}
+
+Table
+toTable(const DerivedTable& table, const std::string& title)
+{
+    Table text(title);
+    std::vector<std::string> header = {"workload"};
+    header.insert(header.end(), table.columns.begin(),
+                  table.columns.end());
+    text.setHeader(std::move(header));
+    for (std::size_t i = 0; i < table.rows.size(); ++i) {
+        std::vector<std::string> row = {table.rows[i]};
+        for (double v : table.values[i])
+            row.push_back(std::isnan(v) ? "n/a" : Table::ratio(v));
+        text.addRow(std::move(row));
+    }
+    std::vector<std::string> geomean = {"geomean"};
+    for (double v : table.geomean)
+        geomean.push_back(std::isnan(v) ? "n/a" : Table::ratio(v));
+    text.addRow(std::move(geomean));
+    return text;
+}
+
+json::Value
+CampaignReport::toJson() const
+{
+    json::Value root = json::Value::object();
+    root.set("schema_version", 1);
+    root.set("campaign", spec.name);
+    root.set("spec", spec.toJson());
+
+    json::Value cells_json = json::Value::array();
+    for (const CampaignCell& c : cells) {
+        const RunResult& r = c.result;
+        json::Value entry = json::Value::object();
+        entry.set("accelerator",
+                  spec.accelerators[c.accelerator_index].label);
+        entry.set("workload", r.workload);
+        entry.set("accelerator_index", c.accelerator_index);
+        entry.set("workload_index", c.workload_index);
+        entry.set("option_index", c.option_index);
+        entry.set("seed", static_cast<double>(c.job.options.seed));
+        entry.set("cycles", r.cycles);
+        entry.set("seconds", r.seconds());
+        entry.set("dense_macs", r.dense_macs);
+        entry.set("dram_bytes", r.dram_bytes);
+        entry.set("energy_pj", r.energy.totalPj());
+        entry.set("gops", r.gops());
+        entry.set("gopj", r.gopj());
+        entry.set("avg_power_w", r.averagePowerW());
+        json::Value breakdown = json::Value::object();
+        for (const auto& [component, pj] : r.energy.breakdown())
+            breakdown.set(component, pj);
+        entry.set("energy_breakdown", std::move(breakdown));
+        if (!r.layers.empty()) {
+            json::Value layers = json::Value::array();
+            for (const LayerRunRecord& layer : r.layers) {
+                json::Value l = json::Value::object();
+                l.set("layer", layer.layer_name);
+                l.set("cycles", layer.cycles);
+                l.set("dense_macs", layer.dense_macs);
+                layers.push(std::move(l));
+            }
+            entry.set("layers", std::move(layers));
+        }
+        cells_json.push(std::move(entry));
+    }
+    root.set("cells", std::move(cells_json));
+
+    json::Value derived = json::Value::object();
+    derived.set("baseline", spec.baselineLabel());
+    derived.set("speedup", derivedTableJson(speedupTable()));
+    derived.set("energy_efficiency",
+                derivedTableJson(energyEfficiencyTable()));
+    root.set("derived", std::move(derived));
+    return root;
+}
+
+void
+CampaignReport::writeCsv(std::ostream& os) const
+{
+    CsvWriter csv(os);
+    csv.writeRow({"accelerator", "workload", "model", "dataset", "seed",
+                  "cycles", "seconds", "gops", "gopj", "energy_pj",
+                  "avg_power_w", "dram_bytes"});
+    for (const CampaignCell& c : cells) {
+        const RunResult& r = c.result;
+        const Workload& w = spec.workloads[c.workload_index];
+        csv.writeRow({spec.accelerators[c.accelerator_index].label,
+                      r.workload, modelName(w.model_id),
+                      datasetName(w.dataset_id),
+                      std::to_string(c.job.options.seed),
+                      CsvWriter::cell(r.cycles),
+                      CsvWriter::cell(r.seconds()),
+                      CsvWriter::cell(r.gops()),
+                      CsvWriter::cell(r.gopj()),
+                      CsvWriter::cell(r.energy.totalPj()),
+                      CsvWriter::cell(r.averagePowerW()),
+                      CsvWriter::cell(r.dram_bytes)});
+    }
+}
+
+bool
+CampaignReport::writeJsonFile(const std::string& path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    toJson().write(os, 2);
+    os << '\n';
+    return static_cast<bool>(os.flush());
+}
+
+bool
+CampaignReport::writeCsvFile(const std::string& path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeCsv(os);
+    return static_cast<bool>(os.flush());
+}
+
+// --- Runner -----------------------------------------------------------
+
+CampaignReport
+CampaignRunner::run(const CampaignSpec& spec,
+                    const ProgressCallback& progress) const
+{
+    const CampaignSpec::CampaignExpansion expansion = spec.expand();
+
+    std::vector<std::future<RunResult>> futures;
+    futures.reserve(expansion.jobs.size());
+    for (const SimulationJob& job : expansion.jobs)
+        futures.push_back(engine_.submit(job));
+
+    std::vector<RunResult> results(expansion.jobs.size());
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        results[i] = futures[i].get();
+        if (progress) {
+            CampaignProgress p;
+            p.completed = i + 1;
+            p.total = expansion.jobs.size();
+            p.job_index = i;
+            p.job = &expansion.jobs[i];
+            p.result = &results[i];
+            progress(p);
+        }
+    }
+
+    CampaignReport report;
+    report.spec = spec;
+    report.cells.reserve(expansion.cells.size());
+    for (const CampaignSpec::Cell& cell : expansion.cells) {
+        CampaignCell c;
+        c.accelerator_index = cell.accelerator_index;
+        c.workload_index = cell.workload_index;
+        c.option_index = cell.option_index;
+        c.job = expansion.jobs[cell.job_index];
+        c.result = results[cell.job_index];
+        report.cells.push_back(std::move(c));
+    }
+    return report;
+}
+
+} // namespace prosperity

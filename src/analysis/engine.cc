@@ -8,6 +8,13 @@
 
 namespace prosperity {
 
+bool
+operator==(const AcceleratorSpec& a, const AcceleratorSpec& b)
+{
+    return a.name == b.name &&
+           a.params.entries() == b.params.entries();
+}
+
 SimulationEngine::SimulationEngine(EngineOptions options)
     : options_(options)
 {
@@ -15,6 +22,17 @@ SimulationEngine::SimulationEngine(EngineOptions options)
         const unsigned hw = std::thread::hardware_concurrency();
         options_.threads = hw == 0 ? 1 : hw;
     }
+}
+
+SimulationEngine::~SimulationEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
 }
 
 namespace {
@@ -57,6 +75,105 @@ RunResult
 SimulationEngine::run(const SimulationJob& job)
 {
     return runBatch({job}).front();
+}
+
+void
+SimulationEngine::ensureWorkersLocked()
+{
+    if (!workers_.empty())
+        return;
+    workers_.reserve(options_.threads);
+    for (std::size_t w = 0; w < options_.threads; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+SimulationEngine::workerLoop()
+{
+    for (;;) {
+        AsyncTask task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queue_cv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            // On shutdown, drain the queue first: every accepted
+            // submit() still gets its result.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+
+        try {
+            AcceleratorRegistry& registry = AcceleratorRegistry::instance();
+            std::unique_ptr<Accelerator> accel = registry.create(
+                task.job.accelerator.name, task.job.accelerator.params);
+            RunResult result =
+                runWorkload(*accel, task.job.workload, task.job.options);
+
+            std::vector<std::promise<RunResult>> waiters;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (options_.memoize) {
+                    cache_.emplace(task.key, result);
+                    const auto it = inflight_.find(task.key);
+                    if (it != inflight_.end()) {
+                        waiters = std::move(it->second);
+                        inflight_.erase(it);
+                    }
+                }
+            }
+            for (std::promise<RunResult>& waiter : waiters)
+                waiter.set_value(result);
+            task.promise.set_value(std::move(result));
+        } catch (...) {
+            const std::exception_ptr error = std::current_exception();
+            std::vector<std::promise<RunResult>> waiters;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                const auto it = inflight_.find(task.key);
+                if (it != inflight_.end()) {
+                    waiters = std::move(it->second);
+                    inflight_.erase(it);
+                }
+            }
+            for (std::promise<RunResult>& waiter : waiters)
+                waiter.set_exception(error);
+            task.promise.set_exception(error);
+        }
+    }
+}
+
+std::future<RunResult>
+SimulationEngine::submit(const SimulationJob& job)
+{
+    std::promise<RunResult> promise;
+    std::future<RunResult> future = promise.get_future();
+    std::string key = jobKey(job);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (options_.memoize) {
+            const auto cached = cache_.find(key);
+            if (cached != cache_.end()) {
+                ++cache_hits_;
+                promise.set_value(cached->second);
+                return future;
+            }
+            const auto computing = inflight_.find(key);
+            if (computing != inflight_.end()) {
+                computing->second.push_back(std::move(promise));
+                return future;
+            }
+            inflight_.emplace(key,
+                              std::vector<std::promise<RunResult>>{});
+        }
+        queue_.push_back(
+            AsyncTask{job, std::move(key), std::move(promise)});
+        ensureWorkersLocked();
+    }
+    queue_cv_.notify_one();
+    return future;
 }
 
 std::vector<RunResult>

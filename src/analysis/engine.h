@@ -20,9 +20,13 @@
 #ifndef PROSPERITY_ANALYSIS_ENGINE_H
 #define PROSPERITY_ANALYSIS_ENGINE_H
 
+#include <condition_variable>
+#include <deque>
+#include <future>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/runner.h"
@@ -38,12 +42,19 @@ struct AcceleratorSpec
     AcceleratorParams params;  ///< per-design knobs (may be empty)
 
     AcceleratorSpec() = default;
-    AcceleratorSpec(std::string n) : name(std::move(n)) {} // NOLINT
+    explicit AcceleratorSpec(std::string n) : name(std::move(n)) {}
     AcceleratorSpec(std::string n, AcceleratorParams p)
         : name(std::move(n)), params(std::move(p))
     {
     }
 };
+
+/** Same design point: name and parameters match verbatim. */
+bool operator==(const AcceleratorSpec& a, const AcceleratorSpec& b);
+inline bool operator!=(const AcceleratorSpec& a, const AcceleratorSpec& b)
+{
+    return !(a == b);
+}
 
 /** One unit of simulation work: a design point on a workload. */
 struct SimulationJob
@@ -89,8 +100,37 @@ class SimulationEngine
   public:
     explicit SimulationEngine(EngineOptions options = {});
 
+    /**
+     * Joins the async worker pool. Tasks already submitted are
+     * finished first (their futures stay valid); destroying the
+     * engine never breaks an outstanding promise.
+     */
+    ~SimulationEngine();
+
+    SimulationEngine(const SimulationEngine&) = delete;
+    SimulationEngine& operator=(const SimulationEngine&) = delete;
+
     /** Run a single job (memoized like any batch member). */
     RunResult run(const SimulationJob& job);
+
+    /**
+     * Asynchronous submission: enqueue `job` on the engine's
+     * persistent worker pool (EngineOptions::threads workers, started
+     * lazily) and return a future for its result.
+     *
+     * The async path shares the runBatch cache: a submit whose key is
+     * already cached returns an immediately-ready future and counts as
+     * a cache hit, a submit whose key is currently being computed by
+     * an earlier submit piggybacks on that computation (simulated
+     * once, not counted as a hit — same rule as duplicate jobs inside
+     * one batch), and freshly computed results are published for later
+     * run/runBatch/submit calls. Results are bitwise identical to
+     * runBatch of the same job (pinned in tests/test_engine.cc).
+     *
+     * Errors — unknown accelerator names, bad parameters — surface
+     * from future::get(), not from submit() itself.
+     */
+    std::future<RunResult> submit(const SimulationJob& job);
 
     /**
      * Run all jobs, using up to EngineOptions::threads workers.
@@ -117,14 +157,39 @@ class SimulationEngine
 
     void clearCache();
 
-  private:
-    /** Canonical memoization key of a job. */
+    /**
+     * Canonical memoization key of a job (see the class comment).
+     * Public so campaign-level code can deduplicate jobs under exactly
+     * the engine's notion of "the same simulation".
+     */
     static std::string jobKey(const SimulationJob& job);
+
+  private:
+    /** One queued submit(): the job, its key, and the caller's promise. */
+    struct AsyncTask
+    {
+        SimulationJob job;
+        std::string key;
+        std::promise<RunResult> promise;
+    };
+
+    /** Start the worker pool if needed; requires mutex_ held. */
+    void ensureWorkersLocked();
+    void workerLoop();
 
     EngineOptions options_;
     mutable std::mutex mutex_;
     std::map<std::string, RunResult> cache_;
     std::size_t cache_hits_ = 0;
+
+    // Async submission state (all guarded by mutex_).
+    std::deque<AsyncTask> queue_;
+    /** Keys being computed by a worker -> promises of piggybacked
+     *  submits waiting for that computation. */
+    std::map<std::string, std::vector<std::promise<RunResult>>> inflight_;
+    std::vector<std::thread> workers_;
+    std::condition_variable queue_cv_;
+    bool stopping_ = false;
 };
 
 } // namespace prosperity

@@ -1,6 +1,6 @@
 #include "export.h"
 
-#include <sstream>
+#include "util/json.h"
 
 namespace prosperity {
 
@@ -37,10 +37,7 @@ CsvWriter::writeRow(const std::vector<std::string>& cells)
 std::string
 CsvWriter::cell(double v)
 {
-    std::ostringstream os;
-    os.precision(10);
-    os << v;
-    return os.str();
+    return json::formatDouble(v);
 }
 
 void

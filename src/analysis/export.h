@@ -30,7 +30,9 @@ class CsvWriter
      *  quoted and inner quotes doubled. */
     void writeRow(const std::vector<std::string>& cells);
 
-    /** Convenience numeric cell. */
+    /** Convenience numeric cell: locale-independent and round-trip
+     *  exact (json::formatDouble), so CSV output is byte-stable across
+     *  environments. */
     static std::string cell(double v);
 
   private:

@@ -74,6 +74,18 @@ struct RunOptions
     bool keep_layer_records = false;
 };
 
+inline bool
+operator==(const RunOptions& a, const RunOptions& b)
+{
+    return a.seed == b.seed &&
+           a.keep_layer_records == b.keep_layer_records;
+}
+inline bool
+operator!=(const RunOptions& a, const RunOptions& b)
+{
+    return !(a == b);
+}
+
 /**
  * Build the LayerRequest a workload layer maps to. `spikes` must be the
  * layer's generated spike matrix for spiking-GeMM layers (it may be

@@ -37,6 +37,68 @@ datasetName(DatasetId id)
     return "?";
 }
 
+const std::vector<ModelId>&
+allModels()
+{
+    static const std::vector<ModelId> models = {
+        ModelId::kVgg16,      ModelId::kVgg9,
+        ModelId::kResNet18,   ModelId::kLeNet5,
+        ModelId::kSpikformer, ModelId::kSdt,
+        ModelId::kSpikeBert,  ModelId::kSpikingBert,
+    };
+    return models;
+}
+
+const std::vector<DatasetId>&
+allDatasets()
+{
+    static const std::vector<DatasetId> datasets = {
+        DatasetId::kCifar10, DatasetId::kCifar100,
+        DatasetId::kCifar10Dvs, DatasetId::kMnist,
+        DatasetId::kSst2,    DatasetId::kSst5,
+        DatasetId::kMr,      DatasetId::kQqp,
+        DatasetId::kMnli,
+    };
+    return datasets;
+}
+
+std::optional<ModelId>
+modelFromName(const std::string& name)
+{
+    for (ModelId id : allModels())
+        if (name == modelName(id))
+            return id;
+    return std::nullopt;
+}
+
+std::optional<DatasetId>
+datasetFromName(const std::string& name)
+{
+    for (DatasetId id : allDatasets())
+        if (name == datasetName(id))
+            return id;
+    return std::nullopt;
+}
+
+bool
+operator==(const ActivationProfile& a, const ActivationProfile& b)
+{
+    return a.bit_density == b.bit_density &&
+           a.cluster_fraction == b.cluster_fraction &&
+           a.bank_size == b.bank_size &&
+           a.subset_drop_prob == b.subset_drop_prob &&
+           a.temporal_repeat == b.temporal_repeat &&
+           a.union_prob == b.union_prob &&
+           a.noise_insert_prob == b.noise_insert_prob;
+}
+
+bool
+operator==(const Workload& a, const Workload& b)
+{
+    return a.model_id == b.model_id && a.dataset_id == b.dataset_id &&
+           a.profile == b.profile;
+}
+
 InputConfig
 datasetInput(DatasetId id)
 {

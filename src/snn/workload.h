@@ -14,6 +14,7 @@
 #ifndef PROSPERITY_SNN_WORKLOAD_H
 #define PROSPERITY_SNN_WORKLOAD_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,15 @@ enum class DatasetId {
 
 const char* modelName(ModelId id);
 const char* datasetName(DatasetId id);
+
+/** Inverse of modelName/datasetName (exact match, case-sensitive);
+ *  nullopt for unknown names. */
+std::optional<ModelId> modelFromName(const std::string& name);
+std::optional<DatasetId> datasetFromName(const std::string& name);
+
+/** Every ModelId / DatasetId, in declaration order. */
+const std::vector<ModelId>& allModels();
+const std::vector<DatasetId>& allDatasets();
 
 /** Input geometry a dataset imposes on a model. */
 InputConfig datasetInput(DatasetId id);
@@ -86,6 +96,13 @@ struct ActivationProfile
     double noise_insert_prob = 0.003;
 };
 
+bool operator==(const ActivationProfile& a, const ActivationProfile& b);
+inline bool operator!=(const ActivationProfile& a,
+                       const ActivationProfile& b)
+{
+    return !(a == b);
+}
+
 /** One evaluated (model, dataset) pair. */
 struct Workload
 {
@@ -98,6 +115,13 @@ struct Workload
     /** Build the lowered model for this dataset's input geometry. */
     ModelSpec buildModel() const;
 };
+
+/** Same (model, dataset) pair with the same activation profile. */
+bool operator==(const Workload& a, const Workload& b);
+inline bool operator!=(const Workload& a, const Workload& b)
+{
+    return !(a == b);
+}
 
 /** Construct a workload with its calibrated activation profile. */
 Workload makeWorkload(ModelId model, DatasetId dataset);

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
 #include <stdexcept>
+#include <vector>
 
 #include "analysis/engine.h"
 #include "baselines/ptb.h"
@@ -173,6 +175,98 @@ TEST(Engine, JobKeyIsCaseInsensitiveLikeTheRegistry)
     EXPECT_EQ(engine.cacheSize(), 1u); // same design, same key
     EXPECT_EQ(engine.cacheHits(), 1u);
     expectIdentical(lower, upper);
+}
+
+TEST(Engine, SubmitMatchesRunBatchBitwise)
+{
+    const auto specs = fullLineup();
+    const auto workloads = gridWorkloads();
+    std::vector<SimulationJob> jobs;
+    for (const Workload& w : workloads)
+        for (const AcceleratorSpec& spec : specs)
+            jobs.push_back(SimulationJob{spec, w, {}});
+
+    EngineOptions no_memo;
+    no_memo.memoize = false;
+    SimulationEngine batch_engine(no_memo);
+    const auto batched = batch_engine.runBatch(jobs);
+
+    SimulationEngine async_engine(no_memo);
+    std::vector<std::future<RunResult>> futures;
+    for (const SimulationJob& job : jobs)
+        futures.push_back(async_engine.submit(job));
+    ASSERT_EQ(futures.size(), batched.size());
+    for (std::size_t i = 0; i < futures.size(); ++i)
+        expectIdentical(futures[i].get(), batched[i]);
+}
+
+TEST(Engine, SubmitSharesTheMemoizationCacheWithRunBatch)
+{
+    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const SimulationJob job{AcceleratorSpec{"eyeriss"}, w, {}};
+
+    SimulationEngine engine;
+    // Seed the cache through the synchronous path ...
+    const RunResult batch_result = engine.run(job);
+    EXPECT_EQ(engine.cacheSize(), 1u);
+    EXPECT_EQ(engine.cacheHits(), 0u);
+
+    // ... and the async path must hit it (ready future, counted hit).
+    const RunResult async_result = engine.submit(job).get();
+    EXPECT_EQ(engine.cacheSize(), 1u);
+    EXPECT_EQ(engine.cacheHits(), 1u);
+    expectIdentical(batch_result, async_result);
+
+    // The reverse direction: a submit-computed result serves runBatch.
+    SimulationJob other = job;
+    other.options.seed = 99;
+    const RunResult computed = engine.submit(other).get();
+    EXPECT_EQ(engine.cacheSize(), 2u);
+    const RunResult again = engine.run(other);
+    EXPECT_EQ(engine.cacheSize(), 2u);
+    EXPECT_EQ(engine.cacheHits(), 2u);
+    expectIdentical(computed, again);
+}
+
+TEST(Engine, ConcurrentDuplicateSubmitsSimulateOnce)
+{
+    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const SimulationJob job{AcceleratorSpec{"ptb"}, w, {}};
+
+    SimulationEngine engine;
+    std::vector<std::future<RunResult>> futures;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(engine.submit(job));
+    std::vector<RunResult> results;
+    for (auto& f : futures)
+        results.push_back(f.get());
+    // However the submits raced (piggybacked in flight or served from
+    // the cache), exactly one simulation ran and every future agrees.
+    EXPECT_EQ(engine.cacheSize(), 1u);
+    for (const RunResult& r : results)
+        expectIdentical(results.front(), r);
+}
+
+TEST(Engine, SubmitErrorsSurfaceFromTheFuture)
+{
+    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    SimulationEngine engine;
+
+    auto unknown =
+        engine.submit(SimulationJob{AcceleratorSpec{"tpu"}, w, {}});
+    EXPECT_THROW(unknown.get(), std::invalid_argument);
+
+    AcceleratorSpec bad("prosperity");
+    bad.params.set("sparsity", "banana");
+    auto bad_params = engine.submit(SimulationJob{bad, w, {}});
+    EXPECT_THROW(bad_params.get(), std::invalid_argument);
+
+    // A failed job is not cached; the engine stays usable.
+    EXPECT_EQ(engine.cacheSize(), 0u);
+    const RunResult ok =
+        engine.submit(SimulationJob{AcceleratorSpec{"eyeriss"}, w, {}})
+            .get();
+    EXPECT_GT(ok.cycles, 0.0);
 }
 
 TEST(Engine, ModelHintsReachTimeBatchingDesigns)
