@@ -37,7 +37,7 @@ main()
     // (b) Power on Spikformer/CIFAR10.
     ProsperityAccelerator prosperity;
     const Workload w =
-        makeWorkload(ModelId::kSpikformer, DatasetId::kCifar10);
+        makeWorkload("Spikformer", "CIFAR10");
     const RunResult r = runWorkload(prosperity, w);
 
     const double seconds = r.seconds();

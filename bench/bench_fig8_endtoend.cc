@@ -29,10 +29,9 @@ namespace {
 bool
 isCnn(const Workload& w)
 {
-    return w.model_id == ModelId::kVgg16 ||
-           w.model_id == ModelId::kVgg9 ||
-           w.model_id == ModelId::kResNet18 ||
-           w.model_id == ModelId::kLeNet5;
+    // Workload::model is the canonical (lowercase) registry key.
+    return w.model == "vgg16" || w.model == "vgg9" ||
+           w.model == "resnet18" || w.model == "lenet5";
 }
 
 /** Geomean of Prosperity's advantage over `label`, CNN rows only —

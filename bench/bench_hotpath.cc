@@ -285,7 +285,7 @@ main(int argc, char** argv)
         SimulationEngine engine;
         SimulationJob job;
         job.accelerator = AcceleratorSpec("prosperity");
-        job.workload = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+        job.workload = makeWorkload("LeNet5", "MNIST");
         bench::CaseOptions opts;
         opts.reps = reps_override > 0 ? reps_override
                                       : (quick ? std::size_t{1}

@@ -20,7 +20,7 @@ using namespace prosperity;
 int
 main()
 {
-    const Workload w = makeWorkload(ModelId::kVgg16, DatasetId::kCifar100);
+    const Workload w = makeWorkload("VGG16", "CIFAR100");
 
     // Densities.
     DensityOptions opt;

@@ -18,8 +18,8 @@ int
 main()
 {
     const Workload workloads[] = {
-        makeWorkload(ModelId::kSpikingBert, DatasetId::kSst2),
-        makeWorkload(ModelId::kVgg16, DatasetId::kCifar100),
+        makeWorkload("SpikingBERT", "SST-2"),
+        makeWorkload("VGG16", "CIFAR100"),
     };
     // Paper reference rows (Table II).
     const char* paper_bit[] = {"20.49%", "34.21%"};

@@ -1,69 +1,41 @@
 /**
  * @file
- * Bringing your own SNN to Prosperity: define a custom model out of
- * LayerSpecs (a small audio-keyword-spotting CNN here), attach an
- * activation profile measured from your own traces, and evaluate it on
- * the accelerator models — no changes to the library required.
+ * Bringing your own SNN to Prosperity: the workload layer is an open
+ * registry, so a new model and even a new dataset are *registrations*,
+ * not library edits.
+ *
+ *  1. Describe the model declaratively (ModelDesc) — the same format
+ *     as the checked-in models/<name>.json files; attach the
+ *     activation profile you calibrated from your own traces.
+ *  2. Register the dataset geometry (DatasetRegistry) and the model
+ *     (ModelRegistry::addDesc).
+ *  3. makeWorkload("KWSNet", "SpeechCommands") now works everywhere a
+ *     built-in pair does: SimulationEngine, campaigns, the CLI.
+ *
+ * The same model could instead live in a JSON file and be referenced
+ * from a campaign spec as "file:kwsnet.json" — see
+ * docs/WORKLOADS.md and models/example_custom.json.
  */
 
 #include <iostream>
 
-#include "analysis/runner.h"
-#include "arch/registry.h"
-#include "gen/spike_generator.h"
+#include "analysis/engine.h"
 #include "sim/table.h"
+#include "snn/model_desc.h"
+#include "snn/model_registry.h"
 
 using namespace prosperity;
 
 namespace {
 
-/** A compact keyword-spotting CNN on 40x101 mel spectrograms. */
-ModelSpec
-buildKwsNet(std::size_t time_steps)
+/** A compact keyword-spotting CNN on 40x101 mel spectrograms,
+ *  described as data. */
+ModelDesc
+kwsNetDesc()
 {
-    ModelSpec model;
-    model.name = "KWSNet";
-    model.time_steps = time_steps;
-
-    ConvParams conv1;
-    conv1.in_channels = 1;
-    conv1.out_channels = 32;
-    conv1.kernel = 3;
-    conv1.padding = 1;
-    LayerSpec l1 = makeConvLayer("conv1", time_steps, 40, 101, conv1);
-    l1.spiking = false; // direct-coded spectrogram input
-    model.layers.push_back(l1);
-
-    ConvParams conv2;
-    conv2.in_channels = 32;
-    conv2.out_channels = 64;
-    conv2.kernel = 3;
-    conv2.stride = 2;
-    conv2.padding = 1;
-    model.layers.push_back(
-        makeConvLayer("conv2", time_steps, 40, 101, conv2));
-
-    ConvParams conv3;
-    conv3.in_channels = 64;
-    conv3.out_channels = 64;
-    conv3.kernel = 3;
-    conv3.stride = 2;
-    conv3.padding = 1;
-    model.layers.push_back(
-        makeConvLayer("conv3", time_steps, 20, 51, conv3));
-
-    // Global pool to 64 features, then the classifier.
-    model.layers.push_back(
-        makeLinearLayer("fc", time_steps, 1, 64 * 10 * 26, 12));
-    return model;
-}
-
-} // namespace
-
-int
-main()
-{
-    const ModelSpec model = buildKwsNet(/*time_steps=*/4);
+    ModelDesc desc;
+    desc.name = "KWSNet";
+    desc.description = "keyword-spotting CNN on mel spectrograms";
 
     // The profile you would calibrate from your own recorded traces.
     ActivationProfile profile;
@@ -72,66 +44,74 @@ main()
     profile.bank_size = 10;
     profile.subset_drop_prob = 0.3;
     profile.temporal_repeat = 0.45;
+    desc.profile = profile;
 
-    std::cout << "Custom model \"" << model.name << "\": "
+    ConvDesc conv1;
+    conv1.name = "conv1";
+    conv1.out_channels = 32;
+    conv1.padding = 1;
+    conv1.spiking = false; // direct-coded spectrogram input
+    desc.layers.push_back(LayerDesc{conv1, std::nullopt});
+
+    ConvDesc conv2;
+    conv2.name = "conv2";
+    conv2.out_channels = 64;
+    conv2.stride = 2;
+    conv2.padding = 1;
+    desc.layers.push_back(LayerDesc{conv2, std::nullopt});
+
+    ConvDesc conv3 = conv2;
+    conv3.name = "conv3";
+    desc.layers.push_back(LayerDesc{conv3, std::nullopt});
+
+    LinearDesc fc;
+    fc.name = "fc";
+    fc.out_features = SymbolicSize(std::string("num_classes"));
+    desc.layers.push_back(LayerDesc{fc, std::nullopt});
+    return desc;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Open the workload universe: one dataset + one model registration.
+    DatasetRegistry::instance().add(DatasetRegistry::DatasetInfo{
+        "SpeechCommands",
+        "keyword-spotting audio, 40x101 mel spectrograms, 12 classes",
+        {/*T=*/4, /*channels=*/1, /*height=*/40, /*width=*/101,
+         /*seq_len=*/64, /*num_classes=*/12}});
+    ModelRegistry::instance().addDesc(kwsNetDesc());
+
+    // From here on the custom pair behaves like any built-in workload.
+    const Workload workload = makeWorkload("KWSNet", "SpeechCommands");
+    const ModelSpec model = workload.buildModel();
+    std::cout << "Custom workload " << workload.name() << ": "
               << model.layers.size() << " layers, "
               << model.totalDenseOps() / 1e6 << " M dense MACs, "
               << model.numSpikingGemms() << " spiking GeMMs\n\n";
 
-    // Evaluate layer by layer on three registry-built designs. Telling
-    // each design about the model first (beginModel) is what hands
-    // time-batching designs like PTB the model's T.
-    const AcceleratorRegistry& registry = AcceleratorRegistry::instance();
-    std::unique_ptr<Accelerator> accels[] = {
-        registry.create("eyeriss"),
-        registry.create("ptb"),
-        registry.create("prosperity"),
-    };
-    ModelHints hints;
-    hints.time_steps = model.time_steps;
-    for (auto& accel : accels)
-        accel->beginModel(hints);
+    SimulationEngine engine;
+    const std::vector<AcceleratorSpec> lineup = {
+        AcceleratorSpec("eyeriss"), AcceleratorSpec("ptb"),
+        AcceleratorSpec("prosperity")};
+    const std::vector<RunResult> results =
+        engine.runGrid(lineup, {workload}).front();
 
-    const SpikeGenerator gen(profile, 7);
-    Table table("KWSNet layer latency (cycles @500 MHz)");
-    table.setHeader({"layer", "shape MxKxN", "Eyeriss", "PTB",
-                     "Prosperity"});
-
-    LayerResult totals[3];
-    std::size_t layer_index = 0;
-    for (const auto& layer : model.layers) {
-        ++layer_index;
-        if (layer.gemm.m == 0)
-            continue;
-        std::vector<std::string> row = {
-            layer.name, std::to_string(layer.gemm.m) + "x" +
-                            std::to_string(layer.gemm.k) + "x" +
-                            std::to_string(layer.gemm.n)};
-        const BitMatrix spikes =
-            layer.isSpikingGemm()
-                ? gen.generateLayer(layer, layer_index)
-                : BitMatrix();
-        const LayerRequest request = layerRequestFor(
-            layer, layer.isSpikingGemm() ? &spikes : nullptr);
-        for (int a = 0; a < 3; ++a) {
-            const LayerResult result = accels[a]->runLayer(request);
-            totals[a] += result;
-            row.push_back(Table::num(result.cycles, 0));
-        }
-        table.addRow(row);
-    }
-    table.addRow({"TOTAL", "", Table::num(totals[0].cycles, 0),
-                  Table::num(totals[1].cycles, 0),
-                  Table::num(totals[2].cycles, 0)});
+    Table table("KWSNet/SpeechCommands end to end");
+    table.setHeader({"accelerator", "latency (ms)", "GOP/s", "GOP/J",
+                     "energy (uJ)"});
+    for (const RunResult& r : results)
+        table.addRow({r.accelerator, Table::num(r.seconds() * 1e3, 3),
+                      Table::num(r.gops()), Table::num(r.gopj()),
+                      Table::num(r.energy.totalPj() * 1e-6, 1)});
     table.print(std::cout);
 
     std::cout << "\nProsperity speedup on your model: "
-              << Table::ratio(totals[0].cycles / totals[2].cycles)
+              << Table::ratio(results[0].seconds() / results[2].seconds())
               << " vs dense, "
-              << Table::ratio(totals[1].cycles / totals[2].cycles)
-              << " vs PTB\n"
-              << "Energy: "
-              << totals[2].totalPj() / 1e6 << " uJ (Prosperity) vs "
-              << totals[0].totalPj() / 1e6 << " uJ (Eyeriss)\n";
+              << Table::ratio(results[1].seconds() / results[2].seconds())
+              << " vs PTB\n";
     return 0;
 }

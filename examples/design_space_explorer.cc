@@ -32,8 +32,8 @@ main(int argc, char** argv)
         return 1;
     }
 
-    const Workload w = makeWorkload(ModelId::kSpikformer,
-                                    DatasetId::kCifar10);
+    const Workload w = makeWorkload("Spikformer",
+                                    "CIFAR10");
     std::cout << "Exploring tile sizes on " << w.name() << "\n\n";
 
     Table table("Design points (latency on " + w.name() + ")");

@@ -3,29 +3,39 @@
  * prosperity_cli — command-line driver for the simulator, the analogue
  * of the original artifact's run scripts.
  *
- *   prosperity_cli list
- *       Show every model, dataset, and registered accelerator.
+ *   prosperity_cli list [models|datasets|accelerators]
+ *       Show the registered models, datasets and accelerators (all
+ *       three axes are open, string-keyed registries).
  *   prosperity_cli run <model> <dataset> [accelerator] [--csv]
  *       End-to-end simulation; default accelerator "all" compares the
  *       full lineup. --csv prints machine-readable rows.
  *   prosperity_cli density <model> <dataset> [--two-prefix]
  *       Sparsity analysis of the workload.
+ *   prosperity_cli model show <name|file:path.json> [--dataset <name>]
+ *       Lower a model (registered, or a declarative JSON definition)
+ *       and print its layer table and op totals.
+ *   prosperity_cli model validate <file.json>
+ *       Parse + lower a declarative model definition; exit non-zero
+ *       with the offending key path on errors.
  *   prosperity_cli campaign <spec.json> [--out report.json]
  *                  [--csv-out report.csv] [--quiet]
  *       Execute a declarative campaign spec (campaigns/<name>.json or
  *       any path; a bare name resolves against the checked-in
  *       campaigns directory). Streams per-job progress, prints the
  *       derived speedup / energy-efficiency tables, and optionally
- *       writes the structured JSON / CSV report.
+ *       writes the structured JSON / CSV report. Workloads may
+ *       reference JSON models by "file:models/<name>.json".
  *
- * Accelerators are constructed by name through the
- * AcceleratorRegistry and simulated through the SimulationEngine, so
- * campaigns run across the machine's cores.
+ * Accelerators, models and datasets are all constructed by name
+ * through their registries and simulated through the SimulationEngine,
+ * so campaigns run across the machine's cores.
  *
  * Examples:
  *   prosperity_cli run VGG16 CIFAR100
  *   prosperity_cli run SpikeBERT SST-2 Prosperity --csv
  *   prosperity_cli density Spikformer CIFAR10 --two-prefix
+ *   prosperity_cli model show file:models/example_custom.json
+ *   prosperity_cli model validate models/vgg16.json
  *   prosperity_cli campaign campaigns/fig8.json --out fig8.report.json
  *   prosperity_cli campaign smoke
  */
@@ -37,6 +47,8 @@
 #include "analysis/campaign.h"
 #include "analysis/density.h"
 #include "analysis/export.h"
+#include "snn/model_desc.h"
+#include "snn/model_registry.h"
 
 using namespace prosperity;
 
@@ -51,33 +63,156 @@ usage()
 {
     std::cerr
         << "usage:\n"
-        << "  prosperity_cli list\n"
+        << "  prosperity_cli list [models|datasets|accelerators]\n"
         << "  prosperity_cli run <model> <dataset> [accelerator|all]"
            " [--csv]\n"
         << "  prosperity_cli density <model> <dataset> [--two-prefix]\n"
+        << "  prosperity_cli model show <name|file:path.json>"
+           " [--dataset <name>]\n"
+        << "  prosperity_cli model validate <file.json>\n"
         << "  prosperity_cli campaign <spec.json> [--out report.json]"
            " [--csv-out report.csv] [--quiet]\n";
     return 2;
 }
 
 int
-cmdList()
+cmdList(const std::string& section)
 {
-    std::cout << "models:";
-    for (ModelId id : allModels())
-        std::cout << ' ' << modelName(id);
-    std::cout << "\ndatasets:";
-    for (DatasetId id : allDatasets())
-        std::cout << ' ' << datasetName(id);
-    std::cout << "\naccelerators:";
-    const AcceleratorRegistry& registry = AcceleratorRegistry::instance();
-    for (const std::string& name : registry.names())
-        std::cout << ' ' << name;
-    std::cout << '\n';
-    for (const std::string& name : registry.names())
-        std::cout << "  " << name << ": " << registry.description(name)
-                  << '\n';
+    const bool all = section.empty();
+    if (!all && section != "models" && section != "datasets" &&
+        section != "accelerators") {
+        std::cerr << "unknown list section: " << section << '\n';
+        return usage();
+    }
+    const ModelRegistry& models = ModelRegistry::instance();
+    const DatasetRegistry& datasets = DatasetRegistry::instance();
+    const AcceleratorRegistry& accels = AcceleratorRegistry::instance();
+    if (all || section == "models") {
+        std::cout << "models:";
+        for (const std::string& name : models.names())
+            std::cout << ' ' << name;
+        std::cout << '\n';
+        for (const std::string& name : models.names())
+            std::cout << "  " << name << ": "
+                      << models.description(name) << '\n';
+    }
+    if (all || section == "datasets") {
+        std::cout << "datasets:";
+        for (const std::string& name : datasets.names())
+            std::cout << ' ' << name;
+        std::cout << '\n';
+        for (const std::string& name : datasets.names())
+            std::cout << "  " << name << ": "
+                      << datasets.description(name) << '\n';
+    }
+    if (all || section == "accelerators") {
+        std::cout << "accelerators:";
+        for (const std::string& name : accels.names())
+            std::cout << ' ' << name;
+        std::cout << '\n';
+        for (const std::string& name : accels.names())
+            std::cout << "  " << name << ": "
+                      << accels.description(name) << '\n';
+    }
     return 0;
+}
+
+/** Resolve `model show`'s target: a registered name, or a declarative
+ *  definition via "file:<path>" (parsed without registering). */
+ModelSpec
+lowerModelArg(const std::string& arg, const std::string& dataset,
+              std::string* description)
+{
+    if (arg.rfind("file:", 0) == 0) {
+        const ModelDesc desc =
+            ModelDesc::load(resolveModelPath(arg.substr(5)));
+        *description = desc.description;
+        const InputConfig input = dataset.empty()
+                                      ? desc.defaultInput()
+                                      : defaultInputConfig(dataset);
+        return desc.lower(input);
+    }
+    *description = ModelRegistry::instance().description(arg);
+    const InputConfig input =
+        dataset.empty() ? InputConfig{} : defaultInputConfig(dataset);
+    return ModelRegistry::instance().build(arg, input);
+}
+
+int
+cmdModelShow(const std::string& arg, const std::string& dataset)
+{
+    std::string description;
+    const ModelSpec model = lowerModelArg(arg, dataset, &description);
+
+    std::cout << model.name;
+    if (!description.empty())
+        std::cout << " — " << description;
+    std::cout << '\n';
+
+    Table table("Lowered layers (T=" +
+                std::to_string(model.time_steps) + ")");
+    table.setHeader({"layer", "type", "m", "k", "n", "dense MACs",
+                     "spiking GeMM"});
+    for (const LayerSpec& layer : model.layers)
+        table.addRow({layer.name, layerTypeName(layer.type),
+                      std::to_string(layer.gemm.m),
+                      std::to_string(layer.gemm.k),
+                      std::to_string(layer.gemm.n),
+                      Table::num(layer.denseOps(), 0),
+                      layer.isSpikingGemm() ? "yes" : "no"});
+    table.print(std::cout);
+
+    std::cout << model.layers.size() << " layers, "
+              << model.numSpikingGemms() << " spiking GeMMs, "
+              << Table::num(model.totalDenseOps() / 1e6, 1)
+              << " M dense MACs ("
+              << Table::num(model.spikingGemmOps() / 1e6, 1)
+              << " M spiking)\n";
+    return 0;
+}
+
+int
+cmdModelValidate(const std::string& path)
+{
+    const ModelDesc desc = ModelDesc::load(resolveModelPath(path));
+    const ModelSpec model = desc.lower(desc.defaultInput());
+    std::cout << "OK: " << desc.name << " — " << model.layers.size()
+              << " layers, " << model.numSpikingGemms()
+              << " spiking GeMMs, "
+              << Table::num(model.totalDenseOps() / 1e6, 1)
+              << " M dense MACs (lowered for the definition's default "
+                 "input)\n";
+    return 0;
+}
+
+int
+cmdModel(int argc, char** argv)
+{
+    if (argc < 4)
+        return usage();
+    const std::string action = argv[2];
+    const std::string target = argv[3];
+    std::string dataset;
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--dataset" && i + 1 < argc) {
+            dataset = argv[++i];
+        } else {
+            std::cerr << "unexpected argument: " << arg << '\n';
+            return usage();
+        }
+    }
+    try {
+        if (action == "show")
+            return cmdModelShow(target, dataset);
+        if (action == "validate")
+            return cmdModelValidate(target);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        return 1;
+    }
+    std::cerr << "unknown model action: " << action << '\n';
+    return usage();
 }
 
 int
@@ -243,20 +378,22 @@ main(int argc, char** argv)
         return usage();
     const std::string command = argv[1];
     if (command == "list")
-        return cmdList();
+        return cmdList(argc > 2 ? argv[2] : "");
+    if (command == "model")
+        return cmdModel(argc, argv);
     if (command == "campaign")
         return cmdCampaign(argc, argv);
     if (argc < 4)
         return usage();
 
-    const auto model = modelFromName(argv[2]);
-    const auto dataset = datasetFromName(argv[3]);
-    if (!model || !dataset) {
-        std::cerr << "unknown model or dataset (try `prosperity_cli "
-                     "list`)\n";
+    Workload workload;
+    try {
+        workload = makeWorkload(argv[2], argv[3]);
+    } catch (const std::exception& e) {
+        // The registries' errors list the registered names.
+        std::cerr << e.what() << '\n';
         return 2;
     }
-    const Workload workload = makeWorkload(*model, *dataset);
 
     bool csv = false, two_prefix = false;
     std::string accel_name = "all";

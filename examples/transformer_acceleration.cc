@@ -21,8 +21,8 @@ int
 main()
 {
     const std::vector<Workload> workloads = {
-        makeWorkload(ModelId::kSpikeBert, DatasetId::kSst2),
-        makeWorkload(ModelId::kSpikformer, DatasetId::kCifar10),
+        makeWorkload("SpikeBERT", "SST-2"),
+        makeWorkload("Spikformer", "CIFAR10"),
     };
 
     const std::vector<AcceleratorSpec> specs = {

@@ -11,6 +11,9 @@
 #include <tuple>
 
 #include "analysis/export.h"
+#include "snn/model_desc.h"
+#include "snn/model_registry.h"
+#include "util/json_schema.h"
 
 namespace prosperity {
 
@@ -136,131 +139,52 @@ CampaignSpec::expandJobs() const
 
 namespace {
 
+/** Key-path context inside a campaign document (json_schema helpers
+ *  append ": <what>", reproducing the established error style). */
+std::string
+specContext(const std::string& where)
+{
+    return "campaign spec: " + where;
+}
+
 [[noreturn]] void
 parseError(const std::string& context, const std::string& message)
 {
-    throw std::invalid_argument("campaign spec: " + context + ": " +
-                                message);
+    json::schemaError(specContext(context), message);
 }
 
-const json::Value&
-requireObject(const json::Value& value, const std::string& context)
+std::string
+nameRoster(const std::vector<std::string>& names)
 {
-    if (!value.isObject())
-        parseError(context, std::string("expected an object, got ") +
-                                json::Value::typeName(value.type()));
-    return value;
-}
-
-/** Reject unknown keys so a typo fails loudly instead of silently
- *  configuring defaults. */
-void
-expectOnlyKeys(const json::Value& object,
-               std::initializer_list<const char*> known,
-               const std::string& context)
-{
-    for (const auto& [key, value] : object.asObject()) {
-        (void)value;
-        bool recognized = false;
-        for (const char* k : known)
-            if (key == k) {
-                recognized = true;
-                break;
-            }
-        if (!recognized) {
-            std::string roster;
-            for (const char* k : known) {
-                if (!roster.empty())
-                    roster += ", ";
-                roster += k;
-            }
-            parseError(context, "unknown key \"" + key +
-                                    "\" (accepted: " + roster + ")");
-        }
+    std::string out;
+    for (const std::string& name : names) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
     }
-}
-
-std::string
-requireString(const json::Value& object, const char* key,
-              const std::string& context)
-{
-    const json::Value* value = object.find(key);
-    if (!value)
-        parseError(context,
-                   std::string("missing required key \"") + key + '"');
-    if (!value->isString())
-        parseError(context, std::string("key \"") + key +
-                                "\" must be a string, got " +
-                                json::Value::typeName(value->type()));
-    return value->asString();
-}
-
-std::string
-optionalString(const json::Value& object, const char* key,
-               const std::string& fallback, const std::string& context)
-{
-    const json::Value* value = object.find(key);
-    if (!value)
-        return fallback;
-    if (!value->isString())
-        parseError(context, std::string("key \"") + key +
-                                "\" must be a string, got " +
-                                json::Value::typeName(value->type()));
-    return value->asString();
-}
-
-double
-requireNumberValue(const json::Value& value, const std::string& context)
-{
-    if (!value.isNumber())
-        parseError(context, std::string("expected a number, got ") +
-                                json::Value::typeName(value.type()));
-    return value.asNumber();
-}
-
-std::size_t
-requireSizeValue(const json::Value& value, const std::string& context)
-{
-    const double v = requireNumberValue(value, context);
-    if (v < 0.0 || v != std::floor(v))
-        parseError(context, "expected a non-negative integer, got " +
-                                json::formatDouble(v));
-    // JSON numbers are doubles: integers above 2^53 would be silently
-    // rounded (a seed would select a different RNG stream than
-    // written), so reject them instead. >= because 2^53+1 itself
-    // rounds down to exactly 2^53 during parsing and would otherwise
-    // slip through.
-    if (v >= 9007199254740992.0)
-        parseError(context, json::formatDouble(v) +
-                                " exceeds 2^53 and cannot be "
-                                "represented exactly in JSON");
-    return static_cast<std::size_t>(v);
-}
-
-const json::Value::Array&
-requireArray(const json::Value& object, const char* key,
-             const std::string& context)
-{
-    const json::Value* value = object.find(key);
-    if (!value)
-        parseError(context,
-                   std::string("missing required key \"") + key + '"');
-    if (!value->isArray())
-        parseError(context, std::string("key \"") + key +
-                                "\" must be an array, got " +
-                                json::Value::typeName(value->type()));
-    return value->asArray();
+    return out;
 }
 
 CampaignAccelerator
 parseAccelerator(const json::Value& value, const std::string& context)
 {
-    requireObject(value, context);
-    expectOnlyKeys(value, {"label", "name", "params"}, context);
+    json::requireObject(value, specContext(context));
+    json::expectOnlyKeys(value, {"label", "name", "params"},
+                         specContext(context));
     CampaignAccelerator accel;
-    accel.spec.name = requireString(value, "name", context);
+    accel.spec.name =
+        json::requireString(value, "name", specContext(context));
+    // Validate against the registry now so a typo'd design name fails
+    // at load time with the available roster, not from a worker thread
+    // mid-campaign.
+    if (!AcceleratorRegistry::instance().contains(accel.spec.name))
+        parseError(context,
+                   "unknown accelerator \"" + accel.spec.name +
+                       "\" (registered: " +
+                       nameRoster(AcceleratorRegistry::instance().names()) +
+                       ")");
     if (const json::Value* params = value.find("params")) {
-        requireObject(*params, context + ".params");
+        json::requireObject(*params, specContext(context + ".params"));
         for (const auto& [key, v] : params->asObject()) {
             if (v.isString())
                 accel.spec.params.set(key, v.asString());
@@ -274,52 +198,19 @@ parseAccelerator(const json::Value& value, const std::string& context)
                                json::Value::typeName(v.type()));
         }
     }
-    accel.label = optionalString(
+    accel.label = json::optionalString(
         value, "label", AcceleratorRegistry::canonicalName(accel.spec.name),
-        context);
+        specContext(context));
     return accel;
-}
-
-ActivationProfile
-parseProfile(const json::Value& value, ActivationProfile profile,
-             const std::string& context)
-{
-    requireObject(value, context);
-    expectOnlyKeys(value,
-                   {"bit_density", "cluster_fraction", "bank_size",
-                    "subset_drop_prob", "temporal_repeat", "union_prob",
-                    "noise_insert_prob"},
-                   context);
-    for (const auto& [key, v] : value.asObject()) {
-        const std::string field_context = context + "." + key;
-        if (key == "bank_size") {
-            profile.bank_size = requireSizeValue(v, field_context);
-            continue;
-        }
-        const double number = requireNumberValue(v, field_context);
-        if (key == "bit_density")
-            profile.bit_density = number;
-        else if (key == "cluster_fraction")
-            profile.cluster_fraction = number;
-        else if (key == "subset_drop_prob")
-            profile.subset_drop_prob = number;
-        else if (key == "temporal_repeat")
-            profile.temporal_repeat = number;
-        else if (key == "union_prob")
-            profile.union_prob = number;
-        else if (key == "noise_insert_prob")
-            profile.noise_insert_prob = number;
-    }
-    return profile;
 }
 
 void
 parseWorkloadEntry(const json::Value& value, const std::string& context,
                    std::vector<Workload>& out)
 {
-    requireObject(value, context);
+    json::requireObject(value, specContext(context));
     if (const json::Value* suite = value.find("suite")) {
-        expectOnlyKeys(value, {"suite"}, context);
+        json::expectOnlyKeys(value, {"suite"}, specContext(context));
         if (!suite->isString())
             parseError(context, "\"suite\" must be a string");
         const std::string& name = suite->asString();
@@ -335,55 +226,60 @@ parseWorkloadEntry(const json::Value& value, const std::string& context,
         return;
     }
 
-    expectOnlyKeys(value, {"model", "dataset", "profile"}, context);
-    const std::string model_name = requireString(value, "model", context);
+    json::expectOnlyKeys(value, {"model", "dataset", "profile"},
+                         specContext(context));
+    const std::string model_name =
+        json::requireString(value, "model", specContext(context));
     const std::string dataset_name =
-        requireString(value, "dataset", context);
-    const std::optional<ModelId> model = modelFromName(model_name);
-    if (!model) {
-        std::string known;
-        for (ModelId id : allModels()) {
-            if (!known.empty())
-                known += ", ";
-            known += modelName(id);
+        json::requireString(value, "dataset", specContext(context));
+
+    std::string model_key;
+    if (model_name.rfind("file:", 0) == 0) {
+        // Declarative model reference: load + register the JSON
+        // definition (idempotent for identical reloads).
+        try {
+            model_key = registerModelFile(model_name.substr(5));
+        } catch (const std::exception& e) {
+            parseError(context, e.what());
         }
-        parseError(context, "unknown model \"" + model_name +
-                                "\" (known: " + known + ")");
+    } else if (ModelRegistry::instance().contains(model_name)) {
+        model_key = ModelRegistry::canonicalKey(model_name);
+    } else {
+        parseError(context,
+                   "unknown model \"" + model_name + "\" (registered: " +
+                       nameRoster(ModelRegistry::instance().names()) +
+                       "; or reference a model JSON with "
+                       "\"file:<path>\")");
     }
-    const std::optional<DatasetId> dataset =
-        datasetFromName(dataset_name);
-    if (!dataset) {
-        std::string known;
-        for (DatasetId id : allDatasets()) {
-            if (!known.empty())
-                known += ", ";
-            known += datasetName(id);
-        }
-        parseError(context, "unknown dataset \"" + dataset_name +
-                                "\" (known: " + known + ")");
-    }
-    Workload workload = makeWorkload(*model, *dataset);
+    if (!DatasetRegistry::instance().contains(dataset_name))
+        parseError(context,
+                   "unknown dataset \"" + dataset_name +
+                       "\" (registered: " +
+                       nameRoster(DatasetRegistry::instance().names()) +
+                       ")");
+
+    Workload workload = makeWorkload(model_key, dataset_name);
     if (const json::Value* profile = value.find("profile"))
-        workload.profile = parseProfile(*profile, workload.profile,
-                                        context + ".profile");
+        workload.profile =
+            profileFromJson(*profile, workload.profile,
+                            specContext(context + ".profile"));
     out.push_back(std::move(workload));
 }
 
 RunOptions
 parseRunOptions(const json::Value& value, const std::string& context)
 {
-    requireObject(value, context);
-    expectOnlyKeys(value, {"seed", "keep_layer_records"}, context);
+    json::requireObject(value, specContext(context));
+    json::expectOnlyKeys(value, {"seed", "keep_layer_records"},
+                         specContext(context));
     RunOptions options;
     if (const json::Value* seed = value.find("seed"))
-        options.seed = requireSizeValue(*seed, context + ".seed");
-    if (const json::Value* keep = value.find("keep_layer_records")) {
-        if (!keep->isBool())
-            parseError(context + ".keep_layer_records",
-                       std::string("expected a bool, got ") +
-                           json::Value::typeName(keep->type()));
-        options.keep_layer_records = keep->asBool();
-    }
+        options.seed = json::requireSizeValue(
+            *seed, specContext(context + ".seed"));
+    options.keep_layer_records =
+        json::optionalBool(value, "keep_layer_records",
+                           options.keep_layer_records,
+                           specContext(context + ".keep_layer_records"));
     return options;
 }
 
@@ -392,18 +288,19 @@ parseRunOptions(const json::Value& value, const std::string& context)
 CampaignSpec
 CampaignSpec::fromJson(const json::Value& value)
 {
-    requireObject(value, "top level");
-    expectOnlyKeys(value,
-                   {"name", "description", "expansion", "baseline",
-                    "accelerators", "workloads", "options"},
-                   "top level");
+    const std::string top = specContext("top level");
+    json::requireObject(value, top);
+    json::expectOnlyKeys(value,
+                         {"name", "description", "expansion", "baseline",
+                          "accelerators", "workloads", "options"},
+                         top);
 
     CampaignSpec spec;
-    spec.name = requireString(value, "name", "top level");
+    spec.name = json::requireString(value, "name", top);
     spec.description =
-        optionalString(value, "description", "", "top level");
+        json::optionalString(value, "description", "", top);
     const std::string expansion =
-        optionalString(value, "expansion", "cross", "top level");
+        json::optionalString(value, "expansion", "cross", top);
     if (expansion == "cross")
         spec.expansion = Expansion::kCross;
     else if (expansion == "zip")
@@ -413,13 +310,13 @@ CampaignSpec::fromJson(const json::Value& value)
                                     "\" (accepted: cross, zip)");
 
     const json::Value::Array& accelerators =
-        requireArray(value, "accelerators", "top level");
+        json::requireArray(value, "accelerators", top);
     for (std::size_t i = 0; i < accelerators.size(); ++i)
         spec.accelerators.push_back(parseAccelerator(
             accelerators[i], "accelerators[" + std::to_string(i) + "]"));
 
     const json::Value::Array& workloads =
-        requireArray(value, "workloads", "top level");
+        json::requireArray(value, "workloads", top);
     for (std::size_t i = 0; i < workloads.size(); ++i)
         parseWorkloadEntry(workloads[i],
                            "workloads[" + std::to_string(i) + "]",
@@ -427,13 +324,13 @@ CampaignSpec::fromJson(const json::Value& value)
 
     if (value.find("options")) {
         const json::Value::Array& options =
-            requireArray(value, "options", "top level");
+            json::requireArray(value, "options", top);
         for (std::size_t i = 0; i < options.size(); ++i)
             spec.options.push_back(parseRunOptions(
                 options[i], "options[" + std::to_string(i) + "]"));
     }
 
-    spec.baseline = optionalString(value, "baseline", "", "top level");
+    spec.baseline = json::optionalString(value, "baseline", "", top);
     // Validate axes, labels and baseline now so load-time errors point
     // at the spec instead of surfacing at run time.
     (void)spec.expand();
@@ -489,24 +386,20 @@ CampaignSpec::toJson() const
     json::Value works = json::Value::array();
     for (const Workload& workload : workloads) {
         json::Value entry = json::Value::object();
-        entry.set("model", modelName(workload.model_id));
-        entry.set("dataset", datasetName(workload.dataset_id));
+        // A model loaded from a JSON file serializes back to its
+        // "file:" reference, so the written spec stays loadable by a
+        // fresh process that has not registered the model yet.
+        const std::string source =
+            ModelRegistry::instance().sourceOf(workload.model);
+        entry.set("model", source.empty() ? workload.modelName()
+                                          : "file:" + source);
+        entry.set("dataset", workload.datasetName());
         // The calibrated profile is implied by (model, dataset); only
         // user overrides need to be written out.
         const ActivationProfile calibrated =
-            makeWorkload(workload.model_id, workload.dataset_id).profile;
-        if (workload.profile != calibrated) {
-            const ActivationProfile& p = workload.profile;
-            json::Value profile = json::Value::object();
-            profile.set("bit_density", p.bit_density);
-            profile.set("cluster_fraction", p.cluster_fraction);
-            profile.set("bank_size", p.bank_size);
-            profile.set("subset_drop_prob", p.subset_drop_prob);
-            profile.set("temporal_repeat", p.temporal_repeat);
-            profile.set("union_prob", p.union_prob);
-            profile.set("noise_insert_prob", p.noise_insert_prob);
-            entry.set("profile", std::move(profile));
-        }
+            makeWorkload(workload.model, workload.dataset).profile;
+        if (workload.profile != calibrated)
+            entry.set("profile", profileToJson(workload.profile));
         works.push(std::move(entry));
     }
     root.set("workloads", std::move(works));
@@ -813,8 +706,7 @@ CampaignReport::writeCsv(std::ostream& os) const
         const RunResult& r = c.result;
         const Workload& w = spec.workloads[c.workload_index];
         csv.writeRow({spec.accelerators[c.accelerator_index].label,
-                      r.workload, modelName(w.model_id),
-                      datasetName(w.dataset_id),
+                      r.workload, w.modelName(), w.datasetName(),
                       std::to_string(c.job.options.seed),
                       CsvWriter::cell(r.cycles),
                       CsvWriter::cell(r.seconds()),

@@ -146,7 +146,13 @@ analyzeWorkload(const Workload& workload, const DensityOptions& options,
         ++layer_index;
         if (!layer.isSpikingGemm())
             continue;
-        const BitMatrix spikes = gen.generateLayer(layer, layer_index);
+        // Honor a per-layer profile override (declarative models),
+        // matching the runner's generation exactly.
+        const BitMatrix spikes =
+            layer.profile_override
+                ? SpikeGenerator(*layer.profile_override, seed)
+                      .generateLayer(layer, layer_index)
+                : gen.generateLayer(layer, layer_index);
         total.merge(analyzeMatrix(spikes, options));
     }
     return total;

@@ -18,6 +18,22 @@ hintsFor(const ModelSpec& model)
     return hints;
 }
 
+/**
+ * Generate one layer's spike matrix, honoring a per-layer
+ * ActivationProfile override (declarative models may pin one). The
+ * override generator shares the run seed, so draws stay per-(seed,
+ * layer) streams and layer order cannot affect any matrix.
+ */
+BitMatrix
+generateLayerSpikes(const SpikeGenerator& gen, const LayerSpec& layer,
+                    std::size_t layer_index, std::uint64_t seed)
+{
+    if (layer.profile_override)
+        return SpikeGenerator(*layer.profile_override, seed)
+            .generateLayer(layer, layer_index);
+    return gen.generateLayer(layer, layer_index);
+}
+
 /** Run one layer on one accelerator and fold it into `result`. */
 void
 accumulateLayer(Accelerator& accel, const LayerSpec& layer,
@@ -76,7 +92,8 @@ runWorkload(Accelerator& accel, const Workload& workload,
         BitMatrix spikes;
         const bool is_spiking = layer.isSpikingGemm();
         if (is_spiking)
-            spikes = gen.generateLayer(layer, layer_index);
+            spikes = generateLayerSpikes(gen, layer, layer_index,
+                                         options.seed);
         accumulateLayer(accel, layer, is_spiking ? &spikes : nullptr,
                         options, result);
     }
@@ -105,7 +122,8 @@ runWorkloadOnAll(const std::vector<Accelerator*>& accels,
         BitMatrix spikes;
         const bool is_spiking = layer.isSpikingGemm();
         if (is_spiking)
-            spikes = gen.generateLayer(layer, layer_index);
+            spikes = generateLayerSpikes(gen, layer, layer_index,
+                                         options.seed);
 
         for (std::size_t a = 0; a < accels.size(); ++a)
             accumulateLayer(*accels[a], layer,

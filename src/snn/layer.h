@@ -12,10 +12,12 @@
 #ifndef PROSPERITY_SNN_LAYER_H
 #define PROSPERITY_SNN_LAYER_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bitmatrix/bit_matrix.h"
+#include "snn/activation_profile.h"
 #include "snn/spike_tensor.h"
 
 namespace prosperity {
@@ -53,6 +55,14 @@ struct LayerSpec
     /** Whether the left operand is a binary spike matrix. */
     bool spiking = true;
 
+    /**
+     * Activation statistics for this layer only, overriding the
+     * workload-level profile (declarative models may pin a layer's
+     * measured profile; see docs/WORKLOADS.md). Spike generation uses
+     * the same per-(seed, layer) stream either way.
+     */
+    std::optional<ActivationProfile> profile_override;
+
     /** True for layers executed on the PPU (spiking GeMMs). */
     bool
     isSpikingGemm() const
@@ -66,6 +76,13 @@ struct LayerSpec
     /** Dense MAC count of this layer. */
     double denseOps() const { return gemm.denseOps(); }
 };
+
+/** Field-for-field equality (declarative-model round-trip tests). */
+bool operator==(const LayerSpec& a, const LayerSpec& b);
+inline bool operator!=(const LayerSpec& a, const LayerSpec& b)
+{
+    return !(a == b);
+}
 
 /** A whole model: ordered layers plus bookkeeping. */
 struct ModelSpec
@@ -83,6 +100,13 @@ struct ModelSpec
     /** Number of spiking-GeMM layers. */
     std::size_t numSpikingGemms() const;
 };
+
+/** Same name, time steps and layer list (field for field). */
+bool operator==(const ModelSpec& a, const ModelSpec& b);
+inline bool operator!=(const ModelSpec& a, const ModelSpec& b)
+{
+    return !(a == b);
+}
 
 /** Helpers used by the model zoo. */
 LayerSpec makeConvLayer(const std::string& name, std::size_t time_steps,

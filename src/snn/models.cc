@@ -57,7 +57,8 @@ struct CnnState
     }
 };
 
-/** Append one transformer encoder block's layers. */
+} // namespace
+
 void
 appendEncoderBlock(ModelSpec& model, const std::string& prefix,
                    std::size_t t, std::size_t seq_len, std::size_t dim,
@@ -127,8 +128,6 @@ appendEncoderBlock(ModelSpec& model, const std::string& prefix,
         model.layers.push_back(ln);
     }
 }
-
-} // namespace
 
 ModelSpec
 buildVgg16(const InputConfig& input)

@@ -28,7 +28,20 @@ struct InputConfig
     std::size_t width = 32;       ///< image width
     std::size_t seq_len = 128;    ///< tokens (NLP models)
     std::size_t num_classes = 10;
+
+    bool operator==(const InputConfig&) const = default;
 };
+
+/**
+ * Append one transformer encoder block's layers: Q/K/V projections,
+ * QxK^T, (softmax,) score x V, output projection, (layernorm,) MLP.
+ * Shared by the C++ transformer builders and the declarative model
+ * lowering (ModelDesc) so both produce identical LayerSpecs.
+ */
+void appendEncoderBlock(ModelSpec& model, const std::string& prefix,
+                        std::size_t t, std::size_t seq_len,
+                        std::size_t dim, std::size_t mlp_hidden,
+                        bool softmax_attention);
 
 /** VGG-16 with the standard CIFAR head (two FC layers). */
 ModelSpec buildVgg16(const InputConfig& input);

@@ -1,84 +1,6 @@
 #include "workload.h"
 
-#include "sim/logging.h"
-
 namespace prosperity {
-
-const char*
-modelName(ModelId id)
-{
-    switch (id) {
-      case ModelId::kVgg16: return "VGG16";
-      case ModelId::kVgg9: return "VGG9";
-      case ModelId::kResNet18: return "ResNet18";
-      case ModelId::kLeNet5: return "LeNet5";
-      case ModelId::kSpikformer: return "Spikformer";
-      case ModelId::kSdt: return "SDT";
-      case ModelId::kSpikeBert: return "SpikeBERT";
-      case ModelId::kSpikingBert: return "SpikingBERT";
-    }
-    return "?";
-}
-
-const char*
-datasetName(DatasetId id)
-{
-    switch (id) {
-      case DatasetId::kCifar10: return "CIFAR10";
-      case DatasetId::kCifar100: return "CIFAR100";
-      case DatasetId::kCifar10Dvs: return "CIFAR10DVS";
-      case DatasetId::kMnist: return "MNIST";
-      case DatasetId::kSst2: return "SST-2";
-      case DatasetId::kSst5: return "SST-5";
-      case DatasetId::kMr: return "MR";
-      case DatasetId::kQqp: return "QQP";
-      case DatasetId::kMnli: return "MNLI";
-    }
-    return "?";
-}
-
-const std::vector<ModelId>&
-allModels()
-{
-    static const std::vector<ModelId> models = {
-        ModelId::kVgg16,      ModelId::kVgg9,
-        ModelId::kResNet18,   ModelId::kLeNet5,
-        ModelId::kSpikformer, ModelId::kSdt,
-        ModelId::kSpikeBert,  ModelId::kSpikingBert,
-    };
-    return models;
-}
-
-const std::vector<DatasetId>&
-allDatasets()
-{
-    static const std::vector<DatasetId> datasets = {
-        DatasetId::kCifar10, DatasetId::kCifar100,
-        DatasetId::kCifar10Dvs, DatasetId::kMnist,
-        DatasetId::kSst2,    DatasetId::kSst5,
-        DatasetId::kMr,      DatasetId::kQqp,
-        DatasetId::kMnli,
-    };
-    return datasets;
-}
-
-std::optional<ModelId>
-modelFromName(const std::string& name)
-{
-    for (ModelId id : allModels())
-        if (name == modelName(id))
-            return id;
-    return std::nullopt;
-}
-
-std::optional<DatasetId>
-datasetFromName(const std::string& name)
-{
-    for (DatasetId id : allDatasets())
-        if (name == datasetName(id))
-            return id;
-    return std::nullopt;
-}
 
 bool
 operator==(const ActivationProfile& a, const ActivationProfile& b)
@@ -95,196 +17,104 @@ operator==(const ActivationProfile& a, const ActivationProfile& b)
 bool
 operator==(const Workload& a, const Workload& b)
 {
-    return a.model_id == b.model_id && a.dataset_id == b.dataset_id &&
+    // Keys are canonical when built through makeWorkload; canonicalize
+    // here too so hand-assembled case variants still compare equal,
+    // matching the registries' case-insensitive lookup.
+    return ModelRegistry::canonicalKey(a.model) ==
+               ModelRegistry::canonicalKey(b.model) &&
+           DatasetRegistry::canonicalKey(a.dataset) ==
+               DatasetRegistry::canonicalKey(b.dataset) &&
            a.profile == b.profile;
 }
 
-InputConfig
-datasetInput(DatasetId id)
+std::string
+Workload::modelName() const
 {
-    InputConfig in;
-    switch (id) {
-      case DatasetId::kCifar10:
-        in = {4, 3, 32, 32, 64, 10};
-        break;
-      case DatasetId::kCifar100:
-        in = {4, 3, 32, 32, 64, 100};
-        break;
-      case DatasetId::kCifar10Dvs:
-        // DVS event streams: 2 polarity channels, 128x128 frames resized
-        // to 64x64, 8 time steps (standard SpikingJelly preprocessing).
-        in = {8, 2, 64, 64, 64, 10};
-        break;
-      case DatasetId::kMnist:
-        in = {4, 1, 28, 28, 64, 10};
-        break;
-      case DatasetId::kSst2:
-        in = {4, 3, 32, 32, 64, 2};
-        break;
-      case DatasetId::kSst5:
-        in = {4, 3, 32, 32, 64, 5};
-        break;
-      case DatasetId::kMr:
-        in = {4, 3, 32, 32, 64, 2};
-        break;
-      case DatasetId::kQqp:
-        in = {4, 3, 32, 32, 128, 2};
-        break;
-      case DatasetId::kMnli:
-        in = {4, 3, 32, 32, 128, 3};
-        break;
-    }
-    return in;
+    return ModelRegistry::instance().displayName(model);
+}
+
+std::string
+Workload::datasetName() const
+{
+    return DatasetRegistry::instance().displayName(dataset);
 }
 
 std::string
 Workload::name() const
 {
-    return std::string(modelName(model_id)) + "/" +
-           datasetName(dataset_id);
+    return modelName() + "/" + datasetName();
 }
 
 ModelSpec
 Workload::buildModel() const
 {
-    const InputConfig in = datasetInput(dataset_id);
-    switch (model_id) {
-      case ModelId::kVgg16: return buildVgg16(in);
-      case ModelId::kVgg9: return buildVgg9(in);
-      case ModelId::kResNet18: return buildResNet18(in);
-      case ModelId::kLeNet5: return buildLeNet5(in);
-      case ModelId::kSpikformer: return buildSpikformer(in);
-      case ModelId::kSdt: return buildSdt(in);
-      case ModelId::kSpikeBert: return buildSpikeBert(in);
-      case ModelId::kSpikingBert: return buildSpikingBert(in);
-    }
-    panic("unknown model id");
+    return ModelRegistry::instance().build(model,
+                                           defaultInputConfig(dataset));
 }
-
-namespace {
-
-/**
- * Calibration table (see DESIGN.md substitution #1). Bit densities for
- * workloads the paper quotes exactly are used verbatim (VGG-16/CIFAR100
- * 34.21%, SpikingBERT/SST-2 20.49%, SpikeBERT 13.19%); the rest follow
- * the per-family levels visible in Fig. 11. Correlation parameters are
- * tuned so the measured product densities land in the paper's range
- * (average ~5x below bit density, up to ~20x for SpikeBERT).
- */
-ActivationProfile
-profileFor(ModelId model, DatasetId dataset)
-{
-    ActivationProfile p;
-    switch (model) {
-      case ModelId::kVgg16:
-        p = {0.32, 0.95, 8, 0.30, 0.55, 0.10};
-        if (dataset == DatasetId::kCifar100)
-            p.bit_density = 0.3421;
-        if (dataset == DatasetId::kCifar10Dvs)
-            p.bit_density = 0.28;
-        break;
-      case ModelId::kVgg9:
-        p = {0.28, 0.92, 9, 0.30, 0.50, 0.10};
-        if (dataset == DatasetId::kCifar100)
-            p.bit_density = 0.30;
-        if (dataset == DatasetId::kMnist)
-            p.bit_density = 0.24;
-        break;
-      case ModelId::kResNet18:
-        p = {0.14, 0.70, 14, 0.28, 0.30, 0.10};
-        if (dataset == DatasetId::kCifar100)
-            p.bit_density = 0.15;
-        if (dataset == DatasetId::kCifar10Dvs)
-            p.bit_density = 0.18;
-        break;
-      case ModelId::kLeNet5:
-        p = {0.22, 0.78, 12, 0.30, 0.35, 0.10};
-        break;
-      case ModelId::kSpikformer:
-        p = {0.22, 0.80, 12, 0.26, 0.35, 0.12};
-        if (dataset == DatasetId::kCifar100)
-            p.bit_density = 0.23;
-        if (dataset == DatasetId::kCifar10Dvs)
-            p.bit_density = 0.20;
-        break;
-      case ModelId::kSdt:
-        p = {0.13, 0.68, 14, 0.28, 0.30, 0.12};
-        if (dataset == DatasetId::kCifar100)
-            p.bit_density = 0.14;
-        if (dataset == DatasetId::kCifar10Dvs)
-            p.bit_density = 0.15;
-        break;
-      case ModelId::kSpikeBert:
-        // Paper abstract: bit density 13.19%, product density 1.23%.
-        p = {0.1319, 0.90, 6, 0.32, 0.55, 0.08};
-        break;
-      case ModelId::kSpikingBert:
-        // Table II: bit 20.49%, one-prefix product 2.98% on SST-2.
-        p = {0.2049, 0.84, 12, 0.30, 0.45, 0.12};
-        break;
-    }
-    return p;
-}
-
-} // namespace
 
 Workload
-makeWorkload(ModelId model, DatasetId dataset)
+makeWorkload(const std::string& model, const std::string& dataset)
 {
-    return Workload{model, dataset, profileFor(model, dataset)};
+    // Validate against the original spellings so errors echo what the
+    // caller wrote. profileFor validates the model; the dataset needs
+    // an eager check of its own (profileFor tolerates unknown
+    // datasets, which is wrong here: a typo'd dataset must fail with
+    // the registered roster, not silently get the base profile).
+    (void)defaultInputConfig(dataset);
+    Workload workload;
+    workload.profile =
+        ModelRegistry::instance().profileFor(model, dataset);
+    workload.model = ModelRegistry::canonicalKey(model);
+    workload.dataset = DatasetRegistry::canonicalKey(dataset);
+    return workload;
 }
 
 std::vector<Workload>
 fig8Suite()
 {
-    using M = ModelId;
-    using D = DatasetId;
     return {
-        makeWorkload(M::kVgg16, D::kCifar10),
-        makeWorkload(M::kVgg16, D::kCifar100),
-        makeWorkload(M::kResNet18, D::kCifar10),
-        makeWorkload(M::kResNet18, D::kCifar100),
-        makeWorkload(M::kSpikformer, D::kCifar10),
-        makeWorkload(M::kSpikformer, D::kCifar10Dvs),
-        makeWorkload(M::kSpikformer, D::kCifar100),
-        makeWorkload(M::kSdt, D::kCifar10),
-        makeWorkload(M::kSdt, D::kCifar10Dvs),
-        makeWorkload(M::kSdt, D::kCifar100),
-        makeWorkload(M::kSpikeBert, D::kSst2),
-        makeWorkload(M::kSpikeBert, D::kMr),
-        makeWorkload(M::kSpikeBert, D::kSst5),
-        makeWorkload(M::kSpikingBert, D::kSst2),
-        makeWorkload(M::kSpikingBert, D::kQqp),
-        makeWorkload(M::kSpikingBert, D::kMnli),
+        makeWorkload("VGG16", "CIFAR10"),
+        makeWorkload("VGG16", "CIFAR100"),
+        makeWorkload("ResNet18", "CIFAR10"),
+        makeWorkload("ResNet18", "CIFAR100"),
+        makeWorkload("Spikformer", "CIFAR10"),
+        makeWorkload("Spikformer", "CIFAR10DVS"),
+        makeWorkload("Spikformer", "CIFAR100"),
+        makeWorkload("SDT", "CIFAR10"),
+        makeWorkload("SDT", "CIFAR10DVS"),
+        makeWorkload("SDT", "CIFAR100"),
+        makeWorkload("SpikeBERT", "SST-2"),
+        makeWorkload("SpikeBERT", "MR"),
+        makeWorkload("SpikeBERT", "SST-5"),
+        makeWorkload("SpikingBERT", "SST-2"),
+        makeWorkload("SpikingBERT", "QQP"),
+        makeWorkload("SpikingBERT", "MNLI"),
     };
 }
 
 std::vector<Workload>
 fig11Suite()
 {
-    using M = ModelId;
-    using D = DatasetId;
-    std::vector<Workload> suite = {
-        makeWorkload(M::kVgg16, D::kCifar10),
-        makeWorkload(M::kVgg16, D::kCifar100),
-        makeWorkload(M::kVgg16, D::kCifar10Dvs),
-        makeWorkload(M::kVgg9, D::kCifar10),
-        makeWorkload(M::kVgg9, D::kCifar100),
-        makeWorkload(M::kLeNet5, D::kMnist),
-        makeWorkload(M::kResNet18, D::kCifar10Dvs),
-        makeWorkload(M::kResNet18, D::kCifar100),
-        makeWorkload(M::kSpikformer, D::kCifar10Dvs),
-        makeWorkload(M::kSpikformer, D::kCifar100),
-        makeWorkload(M::kSdt, D::kCifar10Dvs),
-        makeWorkload(M::kSdt, D::kCifar100),
-        makeWorkload(M::kSpikeBert, D::kSst2),
-        makeWorkload(M::kSpikeBert, D::kMr),
-        makeWorkload(M::kSpikeBert, D::kSst5),
-        makeWorkload(M::kSpikingBert, D::kSst2),
-        makeWorkload(M::kSpikingBert, D::kQqp),
-        makeWorkload(M::kSpikingBert, D::kMnli),
+    return {
+        makeWorkload("VGG16", "CIFAR10"),
+        makeWorkload("VGG16", "CIFAR100"),
+        makeWorkload("VGG16", "CIFAR10DVS"),
+        makeWorkload("VGG9", "CIFAR10"),
+        makeWorkload("VGG9", "CIFAR100"),
+        makeWorkload("LeNet5", "MNIST"),
+        makeWorkload("ResNet18", "CIFAR10DVS"),
+        makeWorkload("ResNet18", "CIFAR100"),
+        makeWorkload("Spikformer", "CIFAR10DVS"),
+        makeWorkload("Spikformer", "CIFAR100"),
+        makeWorkload("SDT", "CIFAR10DVS"),
+        makeWorkload("SDT", "CIFAR100"),
+        makeWorkload("SpikeBERT", "SST-2"),
+        makeWorkload("SpikeBERT", "MR"),
+        makeWorkload("SpikeBERT", "SST-5"),
+        makeWorkload("SpikingBERT", "SST-2"),
+        makeWorkload("SpikingBERT", "QQP"),
+        makeWorkload("SpikingBERT", "MNLI"),
     };
-    return suite;
 }
 
 } // namespace prosperity

@@ -2,129 +2,68 @@
  * @file
  * Workloads: (model, dataset) pairs and their activation statistics.
  *
- * The paper evaluates 16 model/dataset pairs end to end (Fig. 8) and a
- * wider set for the density study (Fig. 11). The original artifact ships
- * recorded spike matrices from trained PyTorch models; this repository
- * substitutes calibrated synthetic activations (see DESIGN.md): each
- * workload carries an ActivationProfile whose bit density matches the
- * paper's reported values and whose correlation structure is tuned so
- * product density lands in the reported range.
+ * A Workload names its model and dataset by *registry key* (see
+ * snn/model_registry.h) — the same open, string-keyed currency the
+ * accelerator axis uses — so the paper's 16 end-to-end pairs (Fig. 8)
+ * are just the checked-in starting set, not the API's ceiling: any
+ * registered model (built-in, programmatic, or loaded from a JSON
+ * ModelDesc) runs on any registered dataset.
+ *
+ * The original artifact ships recorded spike matrices from trained
+ * PyTorch models; this repository substitutes calibrated synthetic
+ * activations (see DESIGN.md): each workload carries an
+ * ActivationProfile whose bit density matches the paper's reported
+ * values and whose correlation structure is tuned so product density
+ * lands in the reported range. makeWorkload() attaches the calibrated
+ * profile from the model registry's table.
  */
 
 #ifndef PROSPERITY_SNN_WORKLOAD_H
 #define PROSPERITY_SNN_WORKLOAD_H
 
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "snn/activation_profile.h"
+#include "snn/model_registry.h"
 #include "snn/models.h"
 
 namespace prosperity {
 
-/** Model architecture identifiers. */
-enum class ModelId {
-    kVgg16,
-    kVgg9,
-    kResNet18,
-    kLeNet5,
-    kSpikformer,
-    kSdt,
-    kSpikeBert,
-    kSpikingBert,
-};
-
-/** Dataset identifiers used in the evaluation. */
-enum class DatasetId {
-    kCifar10,
-    kCifar100,
-    kCifar10Dvs,
-    kMnist,
-    kSst2,
-    kSst5,
-    kMr,
-    kQqp,
-    kMnli,
-};
-
-const char* modelName(ModelId id);
-const char* datasetName(DatasetId id);
-
-/** Inverse of modelName/datasetName (exact match, case-sensitive);
- *  nullopt for unknown names. */
-std::optional<ModelId> modelFromName(const std::string& name);
-std::optional<DatasetId> datasetFromName(const std::string& name);
-
-/** Every ModelId / DatasetId, in declaration order. */
-const std::vector<ModelId>& allModels();
-const std::vector<DatasetId>& allDatasets();
-
-/** Input geometry a dataset imposes on a model. */
-InputConfig datasetInput(DatasetId id);
-
-/**
- * Statistical profile of a workload's spike activations; drives the
- * synthetic generator in src/gen.
- *
- * - `bit_density`: target fraction of 1-bits (Fig. 11 bit density).
- * - `cluster_fraction`: fraction of rows drawn near a shared base
- *   pattern (models the combinatorial similarity real SNN activations
- *   exhibit; the remainder is i.i.d. Bernoulli).
- * - `bank_size`: number of distinct base patterns per 256-row window.
- * - `subset_drop_prob`: probability each 1-bit of a base pattern is
- *   dropped when a clustered row is emitted (creates proper-subset /
- *   partial-match structure).
- * - `temporal_repeat`: probability a row is an exact copy of the same
- *   position in the previous time step (creates exact-match structure).
- * - `union_prob`: probability a clustered row is the union of prefixes
- *   from *two* banks (a neuron population driven by two feature
- *   groups) — the structure that makes a second prefix useful
- *   (Table II).
- * - `noise_insert_prob`: per-position probability of a stray spike on
- *   top of a clustered row. Stray spikes break subset relations over
- *   wide column windows, which is why ProSparsity's tile width k has a
- *   sweet spot (Fig. 7 right).
- */
-struct ActivationProfile
-{
-    double bit_density = 0.2;
-    double cluster_fraction = 0.6;
-    std::size_t bank_size = 24;
-    double subset_drop_prob = 0.25;
-    double temporal_repeat = 0.3;
-    double union_prob = 0.12;
-    double noise_insert_prob = 0.003;
-};
-
-bool operator==(const ActivationProfile& a, const ActivationProfile& b);
-inline bool operator!=(const ActivationProfile& a,
-                       const ActivationProfile& b)
-{
-    return !(a == b);
-}
-
 /** One evaluated (model, dataset) pair. */
 struct Workload
 {
-    ModelId model_id;
-    DatasetId dataset_id;
+    std::string model;   ///< ModelRegistry key (canonical lowercase)
+    std::string dataset; ///< DatasetRegistry key (canonical lowercase)
     ActivationProfile profile;
 
+    /** Display label, e.g. "VGG16/CIFAR100" (registry display names). */
     std::string name() const;
+
+    /** Display name of the model ("VGG16"). */
+    std::string modelName() const;
+
+    /** Display name of the dataset ("CIFAR100"). */
+    std::string datasetName() const;
 
     /** Build the lowered model for this dataset's input geometry. */
     ModelSpec buildModel() const;
 };
 
-/** Same (model, dataset) pair with the same activation profile. */
+/** Same (model, dataset) keys with the same activation profile. */
 bool operator==(const Workload& a, const Workload& b);
 inline bool operator!=(const Workload& a, const Workload& b)
 {
     return !(a == b);
 }
 
-/** Construct a workload with its calibrated activation profile. */
-Workload makeWorkload(ModelId model, DatasetId dataset);
+/**
+ * Construct a workload with its calibrated activation profile. Names
+ * resolve case-insensitively against the registries; throws
+ * std::invalid_argument listing the registered names on a miss.
+ */
+Workload makeWorkload(const std::string& model,
+                      const std::string& dataset);
 
 /** The 16 pairs of the end-to-end evaluation (Fig. 8), paper order. */
 std::vector<Workload> fig8Suite();

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Shared helpers for parsing JSON documents against a schema with
+ * key-path error messages ("workloads[2].profile: expected a number,
+ * got string"). Used by campaign specs (src/analysis/campaign.cc) and
+ * declarative model definitions (src/snn/model_desc.cc) so both fail
+ * with the same actionable style.
+ *
+ * Every helper takes a `context` string naming the position in the
+ * document; failures throw std::invalid_argument("<context>: <what>").
+ */
+
+#ifndef PROSPERITY_UTIL_JSON_SCHEMA_H
+#define PROSPERITY_UTIL_JSON_SCHEMA_H
+
+#include <cmath>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.h"
+
+namespace prosperity::json {
+
+[[noreturn]] inline void
+schemaError(const std::string& context, const std::string& message)
+{
+    throw std::invalid_argument(context + ": " + message);
+}
+
+inline const Value&
+requireObject(const Value& value, const std::string& context)
+{
+    if (!value.isObject())
+        schemaError(context, std::string("expected an object, got ") +
+                                 Value::typeName(value.type()));
+    return value;
+}
+
+/** Reject unknown keys so a typo fails loudly instead of silently
+ *  configuring defaults. */
+inline void
+expectOnlyKeys(const Value& object,
+               std::initializer_list<const char*> known,
+               const std::string& context)
+{
+    for (const auto& [key, value] : object.asObject()) {
+        (void)value;
+        bool recognized = false;
+        for (const char* k : known)
+            if (key == k) {
+                recognized = true;
+                break;
+            }
+        if (!recognized) {
+            std::string roster;
+            for (const char* k : known) {
+                if (!roster.empty())
+                    roster += ", ";
+                roster += k;
+            }
+            schemaError(context, "unknown key \"" + key +
+                                     "\" (accepted: " + roster + ")");
+        }
+    }
+}
+
+inline std::string
+requireString(const Value& object, const char* key,
+              const std::string& context)
+{
+    const Value* value = object.find(key);
+    if (!value)
+        schemaError(context,
+                    std::string("missing required key \"") + key + '"');
+    if (!value->isString())
+        schemaError(context, std::string("key \"") + key +
+                                 "\" must be a string, got " +
+                                 Value::typeName(value->type()));
+    return value->asString();
+}
+
+inline std::string
+optionalString(const Value& object, const char* key,
+               const std::string& fallback, const std::string& context)
+{
+    const Value* value = object.find(key);
+    if (!value)
+        return fallback;
+    if (!value->isString())
+        schemaError(context, std::string("key \"") + key +
+                                 "\" must be a string, got " +
+                                 Value::typeName(value->type()));
+    return value->asString();
+}
+
+inline double
+requireNumberValue(const Value& value, const std::string& context)
+{
+    if (!value.isNumber())
+        schemaError(context, std::string("expected a number, got ") +
+                                 Value::typeName(value.type()));
+    return value.asNumber();
+}
+
+inline std::size_t
+requireSizeValue(const Value& value, const std::string& context)
+{
+    const double v = requireNumberValue(value, context);
+    if (v < 0.0 || v != std::floor(v))
+        schemaError(context, "expected a non-negative integer, got " +
+                                 formatDouble(v));
+    // JSON numbers are doubles: integers above 2^53 would be silently
+    // rounded (a seed would select a different RNG stream than
+    // written), so reject them instead. >= because 2^53+1 itself
+    // rounds down to exactly 2^53 during parsing and would otherwise
+    // slip through.
+    if (v >= 9007199254740992.0)
+        schemaError(context, formatDouble(v) +
+                                 " exceeds 2^53 and cannot be "
+                                 "represented exactly in JSON");
+    return static_cast<std::size_t>(v);
+}
+
+inline std::size_t
+requireSize(const Value& object, const char* key,
+            const std::string& context)
+{
+    const Value* value = object.find(key);
+    if (!value)
+        schemaError(context,
+                    std::string("missing required key \"") + key + '"');
+    return requireSizeValue(*value, context + "." + key);
+}
+
+inline std::size_t
+optionalSize(const Value& object, const char* key, std::size_t fallback,
+             const std::string& context)
+{
+    const Value* value = object.find(key);
+    if (!value)
+        return fallback;
+    return requireSizeValue(*value, context + "." + key);
+}
+
+inline bool
+optionalBool(const Value& object, const char* key, bool fallback,
+             const std::string& context)
+{
+    const Value* value = object.find(key);
+    if (!value)
+        return fallback;
+    if (!value->isBool())
+        schemaError(context, std::string("key \"") + key +
+                                 "\" must be a bool, got " +
+                                 Value::typeName(value->type()));
+    return value->asBool();
+}
+
+inline const Value::Array&
+requireArray(const Value& object, const char* key,
+             const std::string& context)
+{
+    const Value* value = object.find(key);
+    if (!value)
+        schemaError(context,
+                    std::string("missing required key \"") + key + '"');
+    if (!value->isArray())
+        schemaError(context, std::string("key \"") + key +
+                                 "\" must be an array, got " +
+                                 Value::typeName(value->type()));
+    return value->asArray();
+}
+
+} // namespace prosperity::json
+
+#endif // PROSPERITY_UTIL_JSON_SCHEMA_H

@@ -38,7 +38,7 @@ class TableIv : public ::testing::Test
             &eyeriss, &sato, &ptb, &mint, &stellar, &prosperity};
         results_ = new std::vector<RunResult>(runWorkloadOnAll(
             accels,
-            makeWorkload(ModelId::kVgg16, DatasetId::kCifar100)));
+            makeWorkload("VGG16", "CIFAR100")));
     }
 
     static void
@@ -92,19 +92,19 @@ TEST(DensityAnchors, PaperQuotedWorkloads)
 
     // VGG-16/CIFAR100: bit 34.21%, product 2.79% (Tables I/II).
     const DensityReport vgg = analyzeWorkload(
-        makeWorkload(ModelId::kVgg16, DatasetId::kCifar100), opt, 7);
+        makeWorkload("VGG16", "CIFAR100"), opt, 7);
     EXPECT_NEAR(vgg.bitDensity(), 0.3421, 0.04);
     EXPECT_NEAR(vgg.productDensity(), 0.0279, 0.012);
 
     // SpikingBERT/SST-2: bit 20.49%, product 2.98% (Table II).
     const DensityReport sb = analyzeWorkload(
-        makeWorkload(ModelId::kSpikingBert, DatasetId::kSst2), opt, 7);
+        makeWorkload("SpikingBERT", "SST-2"), opt, 7);
     EXPECT_NEAR(sb.bitDensity(), 0.2049, 0.02);
     EXPECT_NEAR(sb.productDensity(), 0.0298, 0.012);
 
     // SpikeBERT: bit 13.19%, product ~1.23% (abstract).
     const DensityReport skb = analyzeWorkload(
-        makeWorkload(ModelId::kSpikeBert, DatasetId::kSst2), opt, 7);
+        makeWorkload("SpikeBERT", "SST-2"), opt, 7);
     EXPECT_NEAR(skb.bitDensity(), 0.1319, 0.015);
     EXPECT_LT(skb.productDensity(), 0.02);
 }

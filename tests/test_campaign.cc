@@ -32,10 +32,23 @@ smallSpec()
         {"ptb8", AcceleratorSpec{"ptb", AcceleratorParams{
                                             {"time_steps", "8"}}}});
     spec.workloads.push_back(
-        makeWorkload(ModelId::kLeNet5, DatasetId::kMnist));
+        makeWorkload("LeNet5", "MNIST"));
     spec.workloads.push_back(
-        makeWorkload(ModelId::kVgg9, DatasetId::kMnist));
+        makeWorkload("VGG9", "MNIST"));
     return spec;
+}
+
+void
+expectIdentical(const RunResult& a, const RunResult& b)
+{
+    EXPECT_EQ(a.accelerator, b.accelerator);
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dense_macs, b.dense_macs);
+    EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+    ASSERT_EQ(a.energy.breakdown().size(), b.energy.breakdown().size());
+    for (const auto& [component, pj] : a.energy.breakdown())
+        EXPECT_EQ(pj, b.energy.componentPj(component)) << component;
 }
 
 TEST(CampaignSpec, CrossExpansionIsDeterministicAndGridOrdered)
@@ -119,7 +132,7 @@ TEST(CampaignSpec, ZipExpansionBroadcastsAndValidatesLengths)
     CampaignSpec bad = smallSpec();
     bad.expansion = CampaignSpec::Expansion::kZip;
     bad.workloads.push_back(
-        makeWorkload(ModelId::kLeNet5, DatasetId::kCifar10));
+        makeWorkload("LeNet5", "CIFAR10"));
     try {
         bad.expand();
         FAIL() << "zip length mismatch not rejected";
@@ -135,7 +148,7 @@ TEST(CampaignSpec, ValidatesLabelsBaselineAndEmptyAxes)
     CampaignSpec no_accels;
     no_accels.name = "x";
     no_accels.workloads.push_back(
-        makeWorkload(ModelId::kLeNet5, DatasetId::kMnist));
+        makeWorkload("LeNet5", "MNIST"));
     EXPECT_THROW(no_accels.expand(), std::invalid_argument);
 
     CampaignSpec dup = smallSpec();
@@ -179,13 +192,97 @@ TEST(CampaignSpec, JsonRoundTripIsExact)
 
 TEST(CampaignSpec, LoadedSpecsRoundTrip)
 {
-    for (const char* name :
-         {"fig8", "fig9", "table1", "table4", "scalability", "smoke"}) {
+    for (const char* name : {"fig8", "fig9", "table1", "table4",
+                             "scalability", "smoke", "custom_smoke"}) {
         const CampaignSpec spec = loadNamedCampaign(name);
         const CampaignSpec back = CampaignSpec::fromJson(
             json::Value::parse(spec.toJson().dump()));
         EXPECT_TRUE(back == spec) << name;
     }
+}
+
+TEST(CampaignSpec, FileModelReferencesSerializeBackToTheFileRef)
+{
+    // A JSON-only model is registered under its own name, but the spec
+    // keeps pointing at the file, so written reports/specs stay
+    // loadable by a fresh process.
+    const CampaignSpec spec = loadNamedCampaign("custom_smoke");
+    ASSERT_EQ(spec.workloads.size(), 1u);
+    EXPECT_EQ(spec.workloads[0].model, "examplecustom");
+    EXPECT_EQ(spec.workloads[0].name(), "ExampleCustom/MNIST");
+    EXPECT_NE(spec.toJson().dump().find(
+                  "file:models/example_custom.json"),
+              std::string::npos);
+}
+
+TEST(CampaignSpec, UnknownNamesListTheRegisteredRosters)
+{
+    const auto expectError = [](const char* text,
+                                std::initializer_list<const char*>
+                                    fragments) {
+        try {
+            CampaignSpec::fromJson(json::Value::parse(text));
+            FAIL() << "accepted: " << text;
+        } catch (const std::invalid_argument& e) {
+            for (const char* fragment : fragments)
+                EXPECT_NE(std::string(e.what()).find(fragment),
+                          std::string::npos)
+                    << "message \"" << e.what()
+                    << "\" does not mention \"" << fragment << '"';
+        }
+    };
+
+    // Each axis's error names the bad key AND the registered options.
+    expectError(R"({"name": "x", "accelerators": [{"name": "tpu"}],
+                    "workloads": [{"suite": "fig8"}]})",
+                {"unknown accelerator \"tpu\"", "registered:",
+                 "eyeriss", "prosperity", "loas"});
+    expectError(R"({"name": "x", "accelerators": [{"name": "eyeriss"}],
+                    "workloads": [{"model": "VGG17",
+                                   "dataset": "CIFAR10"}]})",
+                {"unknown model \"VGG17\"", "registered:", "VGG16",
+                 "SpikingBERT", "file:<path>"});
+    expectError(R"({"name": "x", "accelerators": [{"name": "eyeriss"}],
+                    "workloads": [{"model": "VGG16",
+                                   "dataset": "CIFAR1000"}]})",
+                {"unknown dataset \"CIFAR1000\"", "registered:",
+                 "CIFAR10DVS", "MNLI"});
+}
+
+/** Acceptance pin: a model defined only in JSON (no C++ builder) runs
+ *  end to end through the campaign engine with deterministic,
+ *  memoized results. */
+TEST(CampaignRunner, FileModelRunsEndToEndDeterministicAndMemoized)
+{
+    const CampaignSpec spec = loadNamedCampaign("custom_smoke");
+
+    SimulationEngine engine;
+    CampaignRunner runner(engine);
+    const CampaignReport first = runner.run(spec);
+    ASSERT_EQ(first.cells.size(), 2u);
+    for (const CampaignCell& cell : first.cells) {
+        EXPECT_EQ(cell.result.workload, "ExampleCustom/MNIST");
+        EXPECT_GT(cell.result.cycles, 0.0);
+        EXPECT_GT(cell.result.energy.totalPj(), 0.0);
+    }
+
+    // Re-running hits the memo cache and reproduces every number.
+    const std::size_t hits_before = engine.cacheHits();
+    const CampaignReport again = runner.run(spec);
+    EXPECT_GT(engine.cacheHits(), hits_before);
+    for (std::size_t i = 0; i < first.cells.size(); ++i)
+        expectIdentical(again.cells[i].result, first.cells[i].result);
+
+    // A fresh engine (no shared cache) is bitwise deterministic too.
+    SimulationEngine fresh;
+    const CampaignReport independent = CampaignRunner(fresh).run(spec);
+    for (std::size_t i = 0; i < first.cells.size(); ++i)
+        expectIdentical(independent.cells[i].result,
+                        first.cells[i].result);
+
+    // Prosperity exploits the custom model's sparsity.
+    const DerivedTable speedup = first.speedupTable();
+    EXPECT_GT(speedup.values[0][1], 1.0);
 }
 
 TEST(CampaignSpec, MalformedSpecsProduceActionableErrors)
@@ -288,19 +385,6 @@ TEST(CampaignSpec, Fig8SpecExpandsToTheLegacyJobList)
         EXPECT_EQ(SimulationEngine::jobKey(jobs[i]),
                   SimulationEngine::jobKey(legacy[i]))
             << "job " << i;
-}
-
-void
-expectIdentical(const RunResult& a, const RunResult& b)
-{
-    EXPECT_EQ(a.accelerator, b.accelerator);
-    EXPECT_EQ(a.workload, b.workload);
-    EXPECT_EQ(a.cycles, b.cycles);
-    EXPECT_EQ(a.dense_macs, b.dense_macs);
-    EXPECT_EQ(a.dram_bytes, b.dram_bytes);
-    ASSERT_EQ(a.energy.breakdown().size(), b.energy.breakdown().size());
-    for (const auto& [component, pj] : a.energy.breakdown())
-        EXPECT_EQ(pj, b.energy.componentPj(component)) << component;
 }
 
 /** CampaignRunner (async submit path) == runGrid (batch path),

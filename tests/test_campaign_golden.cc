@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Golden-report pins for every checked-in campaign.
+ *
+ * The reports under tests/golden/ were produced by `prosperity_cli
+ * campaign <name> --out ...` *before* the workload layer moved to
+ * string-keyed registries (PR 4); this test re-runs each campaign
+ * through the current CampaignRunner and requires the serialized
+ * report to match byte for byte. It pins, in one sweep: spec parsing
+ * and re-serialization, job expansion and deduplication, every
+ * simulated RunResult (cycles, energy breakdowns, DRAM traffic), the
+ * derived speedup / energy-efficiency tables, and the JSON writer's
+ * number formatting.
+ *
+ * If a change legitimately alters results (a modeling fix, a new
+ * metric), regenerate the goldens with
+ * `prosperity_cli campaign <name> --quiet --out tests/golden/<name>.report.json`
+ * and say so in the commit message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/campaign.h"
+
+namespace prosperity {
+namespace {
+
+std::string
+goldenDir()
+{
+#ifdef PROSPERITY_GOLDEN_DIR
+    return PROSPERITY_GOLDEN_DIR;
+#else
+    return "tests/golden";
+#endif
+}
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream is(path);
+    EXPECT_TRUE(static_cast<bool>(is)) << "cannot open " << path;
+    std::ostringstream text;
+    text << is.rdbuf();
+    return text.str();
+}
+
+class CampaignGolden : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(CampaignGolden, ReportIsBitwiseIdenticalToTheGolden)
+{
+    const std::string name = GetParam();
+    SimulationEngine engine;
+    CampaignRunner runner(engine);
+    const CampaignReport report = runner.run(loadNamedCampaign(name));
+    const std::string produced = report.toJson().dump(2) + "\n";
+    const std::string golden =
+        readFile(goldenDir() + "/" + name + ".report.json");
+    // EXPECT_EQ on the whole document would dump both reports on a
+    // mismatch; locate the first differing byte instead.
+    if (produced != golden) {
+        std::size_t at = 0;
+        while (at < produced.size() && at < golden.size() &&
+               produced[at] == golden[at])
+            ++at;
+        FAIL() << name << ".report.json diverges from the golden at "
+               << "byte " << at << ": ..."
+               << golden.substr(at > 40 ? at - 40 : 0, 80)
+               << "... vs produced ..."
+               << produced.substr(at > 40 ? at - 40 : 0, 80) << "...";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCampaigns, CampaignGolden,
+                         ::testing::Values("smoke", "table1", "table4",
+                                           "fig8", "fig9",
+                                           "scalability"),
+                         [](const auto& info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace
+} // namespace prosperity

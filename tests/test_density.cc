@@ -110,7 +110,7 @@ TEST(Density, MergeAddsFields)
 TEST(Density, WorkloadAnalysisProducesPaperLikeNumbers)
 {
     // VGG-16/CIFAR100: bit ~34%, product well below 5% (Table I).
-    const Workload w = makeWorkload(ModelId::kVgg16, DatasetId::kCifar100);
+    const Workload w = makeWorkload("VGG16", "CIFAR100");
     DensityOptions opt;
     opt.max_sampled_tiles = 16; // keep the test fast
     const DensityReport r = analyzeWorkload(w, opt, 7);

@@ -39,8 +39,8 @@ fullLineup()
 std::vector<Workload>
 gridWorkloads()
 {
-    return {makeWorkload(ModelId::kLeNet5, DatasetId::kMnist),
-            makeWorkload(ModelId::kSpikingBert, DatasetId::kSst2)};
+    return {makeWorkload("LeNet5", "MNIST"),
+            makeWorkload("SpikingBERT", "SST-2")};
 }
 
 void
@@ -86,7 +86,7 @@ TEST(Engine, ParallelBatchMatchesSingleThreadedBitwise)
 
 TEST(Engine, ResultOrderFollowsJobOrder)
 {
-    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const Workload w = makeWorkload("LeNet5", "MNIST");
     std::vector<SimulationJob> jobs;
     for (const char* name : {"a100", "eyeriss", "ptb"})
         jobs.push_back(SimulationJob{AcceleratorSpec{name}, w, {}});
@@ -102,7 +102,7 @@ TEST(Engine, ResultOrderFollowsJobOrder)
 
 TEST(Engine, MemoizesAcrossAndWithinBatches)
 {
-    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const Workload w = makeWorkload("LeNet5", "MNIST");
     const SimulationJob job{AcceleratorSpec{"eyeriss"}, w, {}};
 
     SimulationEngine engine;
@@ -125,7 +125,7 @@ TEST(Engine, MemoizesAcrossAndWithinBatches)
 
 TEST(Engine, DifferentSeedsAreDistinctJobs)
 {
-    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const Workload w = makeWorkload("LeNet5", "MNIST");
     SimulationJob a{AcceleratorSpec{"ptb"}, w, {}};
     SimulationJob b = a;
     b.options.seed = a.options.seed + 1;
@@ -138,7 +138,7 @@ TEST(Engine, DifferentSeedsAreDistinctJobs)
 
 TEST(Engine, UnknownAcceleratorFailsFast)
 {
-    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const Workload w = makeWorkload("LeNet5", "MNIST");
     SimulationEngine engine;
     EXPECT_THROW(engine.run(SimulationJob{AcceleratorSpec{"tpu"}, w, {}}),
                  std::invalid_argument);
@@ -148,9 +148,9 @@ TEST(Engine, FactoryErrorsPropagateFromWorkers)
 {
     // Two distinct workloads -> two groups -> the pooled worker path
     // runs, and the bad factory's exception must surface from it.
-    const Workload w1 = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const Workload w1 = makeWorkload("LeNet5", "MNIST");
     const Workload w2 =
-        makeWorkload(ModelId::kSpikingBert, DatasetId::kSst2);
+        makeWorkload("SpikingBERT", "SST-2");
     AcceleratorSpec bad("prosperity");
     bad.params.set("sparsity", "banana");
     std::vector<SimulationJob> jobs = {
@@ -165,7 +165,7 @@ TEST(Engine, FactoryErrorsPropagateFromWorkers)
 
 TEST(Engine, JobKeyIsCaseInsensitiveLikeTheRegistry)
 {
-    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const Workload w = makeWorkload("LeNet5", "MNIST");
     SimulationEngine engine;
     const RunResult lower =
         engine.run(SimulationJob{AcceleratorSpec{"ptb"}, w, {}});
@@ -202,7 +202,7 @@ TEST(Engine, SubmitMatchesRunBatchBitwise)
 
 TEST(Engine, SubmitSharesTheMemoizationCacheWithRunBatch)
 {
-    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const Workload w = makeWorkload("LeNet5", "MNIST");
     const SimulationJob job{AcceleratorSpec{"eyeriss"}, w, {}};
 
     SimulationEngine engine;
@@ -230,7 +230,7 @@ TEST(Engine, SubmitSharesTheMemoizationCacheWithRunBatch)
 
 TEST(Engine, ConcurrentDuplicateSubmitsSimulateOnce)
 {
-    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const Workload w = makeWorkload("LeNet5", "MNIST");
     const SimulationJob job{AcceleratorSpec{"ptb"}, w, {}};
 
     SimulationEngine engine;
@@ -249,7 +249,7 @@ TEST(Engine, ConcurrentDuplicateSubmitsSimulateOnce)
 
 TEST(Engine, SubmitErrorsSurfaceFromTheFuture)
 {
-    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const Workload w = makeWorkload("LeNet5", "MNIST");
     SimulationEngine engine;
 
     auto unknown =
@@ -275,7 +275,7 @@ TEST(Engine, ModelHintsReachTimeBatchingDesigns)
     // wrong constructor T; beginModel must overwrite it with the
     // model's real T before any layer runs, exactly as the legacy
     // runner path does with a directly constructed instance.
-    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const Workload w = makeWorkload("LeNet5", "MNIST");
 
     PtbAccelerator direct(/*time_steps=*/1);
     const RunResult legacy = runWorkload(direct, w);

@@ -33,7 +33,7 @@ TEST(CsvWriter, NumericCellsRoundTrip)
 TEST(Export, RunResultsHaveHeaderAndRows)
 {
     ProsperityAccelerator prosperity;
-    const Workload w = makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    const Workload w = makeWorkload("LeNet5", "MNIST");
     const RunResult r = runWorkload(prosperity, w);
 
     std::ostringstream os;

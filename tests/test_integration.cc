@@ -61,8 +61,8 @@ TEST(Integration, TwoLayerInferenceLossless)
 /** Fig. 9 ablation ordering: each design step must speed things up. */
 TEST(Integration, AblationOrdering)
 {
-    const Workload w = makeWorkload(ModelId::kSpikingBert,
-                                    DatasetId::kSst2);
+    const Workload w = makeWorkload("SpikingBERT",
+                                    "SST-2");
 
     Ppu::Options bit_only;
     bit_only.sparsity = SparsityMode::kBitSparsity;
@@ -88,7 +88,7 @@ TEST(Integration, AblationOrdering)
 /** Table IV ordering on a CNN workload. */
 TEST(Integration, AcceleratorThroughputOrdering)
 {
-    const Workload w = makeWorkload(ModelId::kVgg9, DatasetId::kCifar10);
+    const Workload w = makeWorkload("VGG9", "CIFAR10");
 
     EyerissAccelerator eyeriss;
     PtbAccelerator ptb;
@@ -108,7 +108,7 @@ TEST(Integration, AcceleratorThroughputOrdering)
 /** Density hierarchy on a transformer workload (Fig. 11 shape). */
 TEST(Integration, DensityHierarchy)
 {
-    const Workload w = makeWorkload(ModelId::kSpikeBert, DatasetId::kSst2);
+    const Workload w = makeWorkload("SpikeBERT", "SST-2");
     DensityOptions opt;
     opt.max_sampled_tiles = 24;
     const DensityReport r = analyzeWorkload(w, opt, 7);

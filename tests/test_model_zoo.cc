@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Pins the built-in model zoo to the paper's published configurations
+ * (Sec. VII-A: "we use the default configuration for number of layers,
+ * dimensions, and time steps"): per-model layer counts, spiking-GeMM
+ * counts, exact dense/spiking op totals, and per-layer GeMM shapes.
+ * Registry or lowering refactors that silently drift any model's
+ * geometry fail here first.
+ */
+
+#include <gtest/gtest.h>
+
+#include "snn/workload.h"
+
+namespace prosperity {
+namespace {
+
+struct ZooPin
+{
+    const char* model;
+    const char* dataset;
+    std::size_t layers;
+    std::size_t spiking_gemms;
+    double total_dense_ops;
+    double spiking_gemm_ops;
+};
+
+/** Dense-op totals are exact doubles (sums of exact integer-valued
+ *  products), so they pin bitwise. */
+const ZooPin kZooPins[] = {
+    {"VGG16", "CIFAR10", 20u, 14u, 1253855232.0, 1246777344.0},
+    {"VGG9", "CIFAR10", 12u, 8u, 778870784.0, 771792896.0},
+    {"ResNet18", "CIFAR10", 22u, 20u, 2221690880.0, 2214612992.0},
+    {"LeNet5", "MNIST", 7u, 4u, 1666080.0, 1195680.0},
+    {"AlexNet", "CIFAR10", 11u, 7u, 688693248.0, 681615360.0},
+    {"ResNet19", "CIFAR10", 21u, 19u, 9140981760.0, 9126825984.0},
+    {"Spikformer", "CIFAR10", 39u, 36u, 2122398720.0, 2117090304.0},
+    {"SDT", "CIFAR10", 23u, 20u, 2104250368.0, 2097172480.0},
+    {"SpikeBERT", "SST-2", 133u, 85u, 22045267968.0, 21894273024.0},
+    {"SpikingBERT", "SST-2", 45u, 29u, 7348426752.0, 7298095104.0},
+};
+
+TEST(ModelZoo, LayerCountsAndOpTotalsArePinned)
+{
+    for (const ZooPin& pin : kZooPins) {
+        const ModelSpec m =
+            makeWorkload(pin.model, pin.dataset).buildModel();
+        EXPECT_EQ(m.layers.size(), pin.layers) << pin.model;
+        EXPECT_EQ(m.numSpikingGemms(), pin.spiking_gemms) << pin.model;
+        EXPECT_EQ(m.totalDenseOps(), pin.total_dense_ops) << pin.model;
+        EXPECT_EQ(m.spikingGemmOps(), pin.spiking_gemm_ops) << pin.model;
+    }
+}
+
+TEST(ModelZoo, LeNet5ShapesArePinnedLayerByLayer)
+{
+    struct Shape
+    {
+        const char* name;
+        std::size_t m, k, n;
+    };
+    // The full lowered GeMM geometry of the smallest zoo member.
+    const Shape expected[] = {
+        {"conv1", 3136u, 25u, 6u}, {"pool1", 0u, 0u, 0u},
+        {"conv2", 400u, 150u, 16u}, {"pool2", 0u, 0u, 0u},
+        {"fc1", 4u, 400u, 120u},   {"fc2", 4u, 120u, 84u},
+        {"fc3", 4u, 84u, 10u},
+    };
+    const ModelSpec m = makeWorkload("LeNet5", "MNIST").buildModel();
+    ASSERT_EQ(m.layers.size(), std::size(expected));
+    for (std::size_t i = 0; i < m.layers.size(); ++i) {
+        EXPECT_EQ(m.layers[i].name, expected[i].name);
+        EXPECT_EQ(m.layers[i].gemm.m, expected[i].m) << expected[i].name;
+        EXPECT_EQ(m.layers[i].gemm.k, expected[i].k) << expected[i].name;
+        EXPECT_EQ(m.layers[i].gemm.n, expected[i].n) << expected[i].name;
+    }
+}
+
+TEST(ModelZoo, PublishedDimensionsSpotChecks)
+{
+    // VGG-16 conv5_3: 2x2 maps at 512 channels (CIFAR, after 4 pools).
+    const ModelSpec vgg = makeWorkload("VGG16", "CIFAR10").buildModel();
+    const LayerSpec* conv5_3 = nullptr;
+    for (const LayerSpec& l : vgg.layers)
+        if (l.name == "conv5_3")
+            conv5_3 = &l;
+    ASSERT_NE(conv5_3, nullptr);
+    EXPECT_EQ(conv5_3->gemm.m, 4u * 2u * 2u);
+    EXPECT_EQ(conv5_3->gemm.k, 512u * 9u);
+    EXPECT_EQ(conv5_3->gemm.n, 512u);
+
+    // Spikformer-4-384: 64 tokens at dim 384 on CIFAR.
+    const ModelSpec spik =
+        makeWorkload("Spikformer", "CIFAR10").buildModel();
+    std::size_t qk_blocks = 0;
+    for (const LayerSpec& l : spik.layers)
+        if (l.type == LayerType::kAttentionQK) {
+            ++qk_blocks;
+            EXPECT_EQ(l.gemm.m, 4u * 64u);
+            EXPECT_EQ(l.gemm.k, 384u);
+            EXPECT_EQ(l.gemm.n, 64u);
+        }
+    EXPECT_EQ(qk_blocks, 4u);
+
+    // SpikeBERT: BERT-base FFN expansion 768 -> 3072, 12 blocks.
+    const ModelSpec bert =
+        makeWorkload("SpikeBERT", "SST-2").buildModel();
+    std::size_t ffn = 0;
+    for (const LayerSpec& l : bert.layers)
+        if (l.gemm.k == 768u && l.gemm.n == 3072u)
+            ++ffn;
+    EXPECT_EQ(ffn, 12u);
+
+    // Time steps follow the dataset: CIFAR10DVS runs at T=8.
+    const ModelSpec dvs =
+        makeWorkload("ResNet18", "CIFAR10DVS").buildModel();
+    EXPECT_EQ(dvs.time_steps, 8u);
+    EXPECT_EQ(dvs.layers.front().gemm.m, 8u * 64u * 64u);
+}
+
+} // namespace
+} // namespace prosperity

@@ -19,7 +19,7 @@ Workload
 smallWorkload()
 {
     // LeNet-5/MNIST is the smallest full model in the zoo.
-    return makeWorkload(ModelId::kLeNet5, DatasetId::kMnist);
+    return makeWorkload("LeNet5", "MNIST");
 }
 
 TEST(Runner, ProducesPositiveResults)
@@ -85,8 +85,8 @@ TEST(Runner, ProsperityBeatsPtb)
 {
     ProsperityAccelerator prosperity;
     PtbAccelerator ptb;
-    const Workload w = makeWorkload(ModelId::kSpikingBert,
-                                    DatasetId::kSst2);
+    const Workload w = makeWorkload("SpikingBERT",
+                                    "SST-2");
     const RunResult rp = runWorkload(prosperity, w);
     const RunResult rb = runWorkload(ptb, w);
     EXPECT_LT(rp.cycles, rb.cycles);
