@@ -18,13 +18,24 @@
  *       Parse + lower a declarative model definition; exit non-zero
  *       with the offending key path on errors.
  *   prosperity_cli campaign <spec.json> [--out report.json]
- *                  [--csv-out report.csv] [--quiet]
+ *                  [--csv-out report.csv] [--quiet] [--threads N]
  *       Execute a declarative campaign spec (campaigns/<name>.json or
  *       any path; a bare name resolves against the checked-in
  *       campaigns directory). Streams per-job progress, prints the
  *       derived speedup / energy-efficiency tables, and optionally
  *       writes the structured JSON / CSV report. Workloads may
  *       reference JSON models by "file:models/<name>.json".
+ *       --threads sizes the engine's worker pool (default: hardware
+ *       concurrency); --quiet replaces the tables with one summary
+ *       line of engine cache statistics.
+ *   prosperity_cli serve [--port P] [--store DIR] [--threads N]
+ *                  [--max-pending N]
+ *       Run the simulation-as-a-service HTTP daemon (see
+ *       docs/SERVING.md): POST /v1/runs and /v1/campaigns, poll
+ *       GET /v1/jobs/<id>, fetch GET /v1/reports/<id>. With --store,
+ *       finished results persist to disk and a restarted daemon
+ *       serves previously computed traffic without re-running any
+ *       simulation.
  *
  * Accelerators, models and datasets are all constructed by name
  * through their registries and simulated through the SimulationEngine,
@@ -37,16 +48,23 @@
  *   prosperity_cli model show file:models/example_custom.json
  *   prosperity_cli model validate models/vgg16.json
  *   prosperity_cli campaign campaigns/fig8.json --out fig8.report.json
- *   prosperity_cli campaign smoke
+ *   prosperity_cli campaign smoke --threads 4
+ *   prosperity_cli serve --port 8080 --store runs.store
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "analysis/campaign.h"
 #include "analysis/density.h"
 #include "analysis/export.h"
+#include "serve/http.h"
+#include "serve/service.h"
 #include "snn/model_desc.h"
 #include "snn/model_registry.h"
 
@@ -71,8 +89,39 @@ usage()
            " [--dataset <name>]\n"
         << "  prosperity_cli model validate <file.json>\n"
         << "  prosperity_cli campaign <spec.json> [--out report.json]"
-           " [--csv-out report.csv] [--quiet]\n";
+           " [--csv-out report.csv] [--quiet] [--threads N]\n"
+        << "  prosperity_cli serve [--port P] [--store DIR]"
+           " [--threads N] [--max-pending N]\n";
     return 2;
+}
+
+/**
+ * Parse a positive `--threads N` value. 0 is rejected with an
+ * actionable error (EngineOptions treats 0 as "hardware concurrency",
+ * but a user typing 0 almost certainly wanted to disable threading,
+ * which a thread pool cannot do — tell them what to pass instead).
+ */
+bool
+parseThreads(const std::string& value, std::size_t* threads)
+{
+    std::size_t parsed = 0;
+    try {
+        parsed = std::stoull(value);
+    } catch (const std::exception&) {
+        std::cerr << "--threads needs a positive integer, got \""
+                  << value << "\"\n";
+        return false;
+    }
+    if (parsed == 0) {
+        std::cerr << "--threads 0 is not a usable pool size; pass a "
+                     "positive thread count (omit the flag for the "
+                     "default: hardware concurrency, "
+                  << std::thread::hardware_concurrency()
+                  << " on this machine)\n";
+        return false;
+    }
+    *threads = parsed;
+    return true;
 }
 
 int
@@ -281,10 +330,18 @@ cmdCampaign(int argc, char** argv)
 {
     std::string spec_path, out_json, out_csv;
     bool quiet = false;
+    std::size_t threads = 0; // 0 = hardware concurrency
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--threads") {
+            if (i + 1 >= argc) {
+                std::cerr << "--threads needs a thread count\n";
+                return usage();
+            }
+            if (!parseThreads(argv[++i], &threads))
+                return 2;
         } else if (arg == "--out" || arg == "--csv-out") {
             if (i + 1 >= argc) {
                 std::cerr << arg << " needs a file argument\n";
@@ -322,7 +379,7 @@ cmdCampaign(int argc, char** argv)
     if (!quiet && !spec.description.empty())
         std::cout << spec.name << ": " << spec.description << '\n';
 
-    SimulationEngine engine;
+    SimulationEngine engine(EngineOptions{threads, true});
     CampaignRunner runner(engine);
     CampaignRunner::ProgressCallback progress;
     if (!quiet) {
@@ -343,14 +400,27 @@ cmdCampaign(int argc, char** argv)
         return 1;
     }
 
-    toTable(report.speedupTable(),
-            "Speedup vs " + spec.baselineLabel() + " — " + spec.name)
-        .print(std::cout);
-    std::cout << '\n';
-    toTable(report.energyEfficiencyTable(),
-            "Energy efficiency vs " + spec.baselineLabel() + " — " +
-                spec.name)
-        .print(std::cout);
+    if (quiet) {
+        // One machine-parsable summary line: how much work the
+        // campaign actually cost the engine.
+        const EngineStats stats = engine.stats();
+        std::cout << spec.name << ": "
+                  << report.spec.expandJobs().size() << " jobs, "
+                  << stats.misses << " simulated, " << stats.hits
+                  << " cache hits, " << stats.in_flight_dedups
+                  << " in-flight dedups, " << stats.entries
+                  << " cache entries\n";
+    } else {
+        toTable(report.speedupTable(),
+                "Speedup vs " + spec.baselineLabel() + " — " +
+                    spec.name)
+            .print(std::cout);
+        std::cout << '\n';
+        toTable(report.energyEfficiencyTable(),
+                "Energy efficiency vs " + spec.baselineLabel() + " — " +
+                    spec.name)
+            .print(std::cout);
+    }
 
     if (!out_json.empty()) {
         if (!report.writeJsonFile(out_json)) {
@@ -369,6 +439,96 @@ cmdCampaign(int argc, char** argv)
     return 0;
 }
 
+/** SIGINT/SIGTERM flag for the serve loop (async-signal-safe). */
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void
+onServeSignal(int)
+{
+    g_serve_stop = 1;
+}
+
+int
+cmdServe(int argc, char** argv)
+{
+    serve::ServiceOptions service_options;
+    serve::HttpServerOptions server_options;
+    server_options.port = 8080;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (i + 1 >= argc) {
+            std::cerr << arg << " needs a value\n";
+            return usage();
+        }
+        const std::string value = argv[++i];
+        try {
+            if (arg == "--port") {
+                const unsigned long port = std::stoul(value);
+                if (port > 65535) {
+                    std::cerr << "--port must be 0-65535, got "
+                              << value << '\n';
+                    return 2;
+                }
+                server_options.port =
+                    static_cast<std::uint16_t>(port);
+            } else if (arg == "--store") {
+                service_options.store_dir = value;
+            } else if (arg == "--threads") {
+                if (!parseThreads(value, &service_options.threads))
+                    return 2;
+            } else if (arg == "--max-pending") {
+                service_options.max_pending = std::stoull(value);
+            } else {
+                std::cerr << "unexpected argument: " << arg << '\n';
+                return usage();
+            }
+        } catch (const std::exception&) {
+            std::cerr << arg << " needs a number, got \"" << value
+                      << "\"\n";
+            return 2;
+        }
+    }
+
+    try {
+        serve::SimulationService service(service_options);
+        // The HTTP worker pool only parses/serializes; simulation
+        // parallelism lives in the engine pool behind it.
+        server_options.threads = 4;
+        serve::HttpServer server(
+            server_options, [&service](const serve::HttpRequest& req) {
+                return service.handle(req);
+            });
+        server.start();
+
+        std::cout << "prosperity daemon on http://127.0.0.1:"
+                  << server.port() << "\n  engine threads: "
+                  << service.engine().threads() << "\n  result store: "
+                  << (service.store() ? service.store()->dir()
+                                      : std::string("(memory only)"))
+                  << "\n  routes: POST /v1/runs, POST /v1/campaigns, "
+                     "GET /v1/jobs/<id>, GET /v1/reports/<id>, "
+                     "GET /v1/registry, GET /v1/stats\n"
+                  << std::flush;
+
+        std::signal(SIGINT, onServeSignal);
+        std::signal(SIGTERM, onServeSignal);
+        while (!g_serve_stop)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+
+        server.stop();
+        const EngineStats stats = service.engine().stats();
+        std::cout << "shutting down: " << stats.misses
+                  << " simulations run, " << stats.hits
+                  << " cache hits, " << stats.in_flight_dedups
+                  << " in-flight dedups\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "serve failed: " << e.what() << '\n';
+        return 1;
+    }
+}
+
 } // namespace
 
 int
@@ -383,6 +543,8 @@ main(int argc, char** argv)
         return cmdModel(argc, argv);
     if (command == "campaign")
         return cmdCampaign(argc, argv);
+    if (command == "serve")
+        return cmdServe(argc, argv);
     if (argc < 4)
         return usage();
 

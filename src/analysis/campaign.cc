@@ -147,12 +147,6 @@ specContext(const std::string& where)
     return "campaign spec: " + where;
 }
 
-[[noreturn]] void
-parseError(const std::string& context, const std::string& message)
-{
-    json::schemaError(specContext(context), message);
-}
-
 std::string
 nameRoster(const std::vector<std::string>& names)
 {
@@ -165,26 +159,27 @@ nameRoster(const std::vector<std::string>& names)
     return out;
 }
 
+/** `context` is the complete error prefix ("campaign spec:
+ *  accelerators[0]", "run request: accelerator", ...). */
 CampaignAccelerator
 parseAccelerator(const json::Value& value, const std::string& context)
 {
-    json::requireObject(value, specContext(context));
-    json::expectOnlyKeys(value, {"label", "name", "params"},
-                         specContext(context));
+    json::requireObject(value, context);
+    json::expectOnlyKeys(value, {"label", "name", "params"}, context);
     CampaignAccelerator accel;
-    accel.spec.name =
-        json::requireString(value, "name", specContext(context));
+    accel.spec.name = json::requireString(value, "name", context);
     // Validate against the registry now so a typo'd design name fails
     // at load time with the available roster, not from a worker thread
     // mid-campaign.
     if (!AcceleratorRegistry::instance().contains(accel.spec.name))
-        parseError(context,
-                   "unknown accelerator \"" + accel.spec.name +
-                       "\" (registered: " +
-                       nameRoster(AcceleratorRegistry::instance().names()) +
-                       ")");
+        json::schemaError(
+            context,
+            "unknown accelerator \"" + accel.spec.name +
+                "\" (registered: " +
+                nameRoster(AcceleratorRegistry::instance().names()) +
+                ")");
     if (const json::Value* params = value.find("params")) {
-        json::requireObject(*params, specContext(context + ".params"));
+        json::requireObject(*params, context + ".params");
         for (const auto& [key, v] : params->asObject()) {
             if (v.isString())
                 accel.spec.params.set(key, v.asString());
@@ -192,15 +187,16 @@ parseAccelerator(const json::Value& value, const std::string& context)
                 accel.spec.params.set(
                     key, json::formatDouble(v.asNumber()));
             else
-                parseError(context + ".params",
-                           "value of \"" + key +
-                               "\" must be a string or number, got " +
-                               json::Value::typeName(v.type()));
+                json::schemaError(
+                    context + ".params",
+                    "value of \"" + key +
+                        "\" must be a string or number, got " +
+                        json::Value::typeName(v.type()));
         }
     }
     accel.label = json::optionalString(
-        value, "label", AcceleratorRegistry::canonicalName(accel.spec.name),
-        specContext(context));
+        value, "label",
+        AcceleratorRegistry::canonicalName(accel.spec.name), context);
     return accel;
 }
 
@@ -208,11 +204,11 @@ void
 parseWorkloadEntry(const json::Value& value, const std::string& context,
                    std::vector<Workload>& out)
 {
-    json::requireObject(value, specContext(context));
+    json::requireObject(value, context);
     if (const json::Value* suite = value.find("suite")) {
-        json::expectOnlyKeys(value, {"suite"}, specContext(context));
+        json::expectOnlyKeys(value, {"suite"}, context);
         if (!suite->isString())
-            parseError(context, "\"suite\" must be a string");
+            json::schemaError(context, "\"suite\" must be a string");
         const std::string& name = suite->asString();
         std::vector<Workload> expanded;
         if (name == "fig8")
@@ -220,18 +216,18 @@ parseWorkloadEntry(const json::Value& value, const std::string& context,
         else if (name == "fig11")
             expanded = fig11Suite();
         else
-            parseError(context, "unknown suite \"" + name +
-                                    "\" (known: fig8, fig11)");
+            json::schemaError(context, "unknown suite \"" + name +
+                                           "\" (known: fig8, fig11)");
         out.insert(out.end(), expanded.begin(), expanded.end());
         return;
     }
 
     json::expectOnlyKeys(value, {"model", "dataset", "profile"},
-                         specContext(context));
+                         context);
     const std::string model_name =
-        json::requireString(value, "model", specContext(context));
+        json::requireString(value, "model", context);
     const std::string dataset_name =
-        json::requireString(value, "dataset", specContext(context));
+        json::requireString(value, "dataset", context);
 
     std::string model_key;
     if (model_name.rfind("file:", 0) == 0) {
@@ -240,47 +236,65 @@ parseWorkloadEntry(const json::Value& value, const std::string& context,
         try {
             model_key = registerModelFile(model_name.substr(5));
         } catch (const std::exception& e) {
-            parseError(context, e.what());
+            json::schemaError(context, e.what());
         }
     } else if (ModelRegistry::instance().contains(model_name)) {
         model_key = ModelRegistry::canonicalKey(model_name);
     } else {
-        parseError(context,
-                   "unknown model \"" + model_name + "\" (registered: " +
-                       nameRoster(ModelRegistry::instance().names()) +
-                       "; or reference a model JSON with "
-                       "\"file:<path>\")");
+        json::schemaError(
+            context,
+            "unknown model \"" + model_name + "\" (registered: " +
+                nameRoster(ModelRegistry::instance().names()) +
+                "; or reference a model JSON with \"file:<path>\")");
     }
     if (!DatasetRegistry::instance().contains(dataset_name))
-        parseError(context,
-                   "unknown dataset \"" + dataset_name +
-                       "\" (registered: " +
-                       nameRoster(DatasetRegistry::instance().names()) +
-                       ")");
+        json::schemaError(
+            context,
+            "unknown dataset \"" + dataset_name + "\" (registered: " +
+                nameRoster(DatasetRegistry::instance().names()) + ")");
 
     Workload workload = makeWorkload(model_key, dataset_name);
     if (const json::Value* profile = value.find("profile"))
-        workload.profile =
-            profileFromJson(*profile, workload.profile,
-                            specContext(context + ".profile"));
+        workload.profile = profileFromJson(*profile, workload.profile,
+                                           context + ".profile");
     out.push_back(std::move(workload));
 }
 
 RunOptions
 parseRunOptions(const json::Value& value, const std::string& context)
 {
-    json::requireObject(value, specContext(context));
+    json::requireObject(value, context);
     json::expectOnlyKeys(value, {"seed", "keep_layer_records"},
-                         specContext(context));
+                         context);
     RunOptions options;
     if (const json::Value* seed = value.find("seed"))
-        options.seed = json::requireSizeValue(
-            *seed, specContext(context + ".seed"));
-    options.keep_layer_records =
-        json::optionalBool(value, "keep_layer_records",
-                           options.keep_layer_records,
-                           specContext(context + ".keep_layer_records"));
+        options.seed =
+            json::requireSizeValue(*seed, context + ".seed");
+    options.keep_layer_records = json::optionalBool(
+        value, "keep_layer_records", options.keep_layer_records,
+        context + ".keep_layer_records");
     return options;
+}
+
+/** Workload -> campaign-spec JSON entry. A model loaded from a JSON
+ *  file serializes back to its "file:" reference, so the document
+ *  stays loadable by a fresh process that has not registered the
+ *  model yet; the calibrated profile is implied by (model, dataset),
+ *  so only user overrides are written out. */
+json::Value
+workloadToJson(const Workload& workload)
+{
+    json::Value entry = json::Value::object();
+    const std::string source =
+        ModelRegistry::instance().sourceOf(workload.model);
+    entry.set("model", source.empty() ? workload.modelName()
+                                      : "file:" + source);
+    entry.set("dataset", workload.datasetName());
+    const ActivationProfile calibrated =
+        makeWorkload(workload.model, workload.dataset).profile;
+    if (workload.profile != calibrated)
+        entry.set("profile", profileToJson(workload.profile));
+    return entry;
 }
 
 } // namespace
@@ -306,28 +320,31 @@ CampaignSpec::fromJson(const json::Value& value)
     else if (expansion == "zip")
         spec.expansion = Expansion::kZip;
     else
-        parseError("top level", "unknown expansion \"" + expansion +
-                                    "\" (accepted: cross, zip)");
+        json::schemaError(top, "unknown expansion \"" + expansion +
+                                   "\" (accepted: cross, zip)");
 
     const json::Value::Array& accelerators =
         json::requireArray(value, "accelerators", top);
     for (std::size_t i = 0; i < accelerators.size(); ++i)
         spec.accelerators.push_back(parseAccelerator(
-            accelerators[i], "accelerators[" + std::to_string(i) + "]"));
+            accelerators[i],
+            specContext("accelerators[" + std::to_string(i) + "]")));
 
     const json::Value::Array& workloads =
         json::requireArray(value, "workloads", top);
     for (std::size_t i = 0; i < workloads.size(); ++i)
-        parseWorkloadEntry(workloads[i],
-                           "workloads[" + std::to_string(i) + "]",
-                           spec.workloads);
+        parseWorkloadEntry(
+            workloads[i],
+            specContext("workloads[" + std::to_string(i) + "]"),
+            spec.workloads);
 
     if (value.find("options")) {
         const json::Value::Array& options =
             json::requireArray(value, "options", top);
         for (std::size_t i = 0; i < options.size(); ++i)
             spec.options.push_back(parseRunOptions(
-                options[i], "options[" + std::to_string(i) + "]"));
+                options[i],
+                specContext("options[" + std::to_string(i) + "]")));
     }
 
     spec.baseline = json::optionalString(value, "baseline", "", top);
@@ -384,24 +401,8 @@ CampaignSpec::toJson() const
     root.set("accelerators", std::move(accels));
 
     json::Value works = json::Value::array();
-    for (const Workload& workload : workloads) {
-        json::Value entry = json::Value::object();
-        // A model loaded from a JSON file serializes back to its
-        // "file:" reference, so the written spec stays loadable by a
-        // fresh process that has not registered the model yet.
-        const std::string source =
-            ModelRegistry::instance().sourceOf(workload.model);
-        entry.set("model", source.empty() ? workload.modelName()
-                                          : "file:" + source);
-        entry.set("dataset", workload.datasetName());
-        // The calibrated profile is implied by (model, dataset); only
-        // user overrides need to be written out.
-        const ActivationProfile calibrated =
-            makeWorkload(workload.model, workload.dataset).profile;
-        if (workload.profile != calibrated)
-            entry.set("profile", profileToJson(workload.profile));
-        works.push(std::move(entry));
-    }
+    for (const Workload& workload : workloads)
+        works.push(workloadToJson(workload));
     root.set("workloads", std::move(works));
 
     if (!options.empty()) {
@@ -434,6 +435,62 @@ CampaignSpec::save(const std::string& path) const
     toJson().write(os, 2);
     os << '\n';
     return static_cast<bool>(os.flush());
+}
+
+SimulationJob
+simulationJobFromJson(const json::Value& value,
+                      const std::string& context)
+{
+    json::requireObject(value, context);
+    json::expectOnlyKeys(value, {"accelerator", "workload", "options"},
+                         context);
+
+    // Sub-contexts follow the campaign-spec style: "<who>: <path>"
+    // ("run request: accelerator.params").
+    SimulationJob job;
+    const json::Value* accelerator = value.find("accelerator");
+    if (!accelerator)
+        json::schemaError(context,
+                          "missing required key \"accelerator\"");
+    job.accelerator =
+        parseAccelerator(*accelerator, context + ": accelerator").spec;
+
+    const json::Value* workload = value.find("workload");
+    if (!workload)
+        json::schemaError(context, "missing required key \"workload\"");
+    std::vector<Workload> workloads;
+    parseWorkloadEntry(*workload, context + ": workload", workloads);
+    if (workloads.size() != 1)
+        json::schemaError(context + ": workload",
+                          "a run names exactly one (model, dataset) "
+                          "pair — suites only expand inside campaigns");
+    job.workload = std::move(workloads.front());
+
+    if (const json::Value* options = value.find("options"))
+        job.options = parseRunOptions(*options, context + ": options");
+    return job;
+}
+
+json::Value
+simulationJobToJson(const SimulationJob& job)
+{
+    json::Value root = json::Value::object();
+    json::Value accelerator = json::Value::object();
+    accelerator.set("name", job.accelerator.name);
+    if (!job.accelerator.params.empty()) {
+        json::Value params = json::Value::object();
+        for (const auto& [key, v] : job.accelerator.params.entries())
+            params.set(key, v);
+        accelerator.set("params", std::move(params));
+    }
+    root.set("accelerator", std::move(accelerator));
+    root.set("workload", workloadToJson(job.workload));
+
+    json::Value options = json::Value::object();
+    options.set("seed", static_cast<double>(job.options.seed));
+    options.set("keep_layer_records", job.options.keep_layer_records);
+    root.set("options", std::move(options));
+    return root;
 }
 
 std::string
@@ -742,6 +799,26 @@ CampaignReport::writeCsvFile(const std::string& path) const
 // --- Runner -----------------------------------------------------------
 
 CampaignReport
+assembleCampaignReport(const CampaignSpec& spec,
+                       const CampaignSpec::CampaignExpansion& expansion,
+                       std::vector<RunResult> results)
+{
+    CampaignReport report;
+    report.spec = spec;
+    report.cells.reserve(expansion.cells.size());
+    for (const CampaignSpec::Cell& cell : expansion.cells) {
+        CampaignCell c;
+        c.accelerator_index = cell.accelerator_index;
+        c.workload_index = cell.workload_index;
+        c.option_index = cell.option_index;
+        c.job = expansion.jobs[cell.job_index];
+        c.result = results[cell.job_index];
+        report.cells.push_back(std::move(c));
+    }
+    return report;
+}
+
+CampaignReport
 CampaignRunner::run(const CampaignSpec& spec,
                     const ProgressCallback& progress) const
 {
@@ -766,19 +843,7 @@ CampaignRunner::run(const CampaignSpec& spec,
         }
     }
 
-    CampaignReport report;
-    report.spec = spec;
-    report.cells.reserve(expansion.cells.size());
-    for (const CampaignSpec::Cell& cell : expansion.cells) {
-        CampaignCell c;
-        c.accelerator_index = cell.accelerator_index;
-        c.workload_index = cell.workload_index;
-        c.option_index = cell.option_index;
-        c.job = expansion.jobs[cell.job_index];
-        c.result = results[cell.job_index];
-        report.cells.push_back(std::move(c));
-    }
-    return report;
+    return assembleCampaignReport(spec, expansion, std::move(results));
 }
 
 } // namespace prosperity

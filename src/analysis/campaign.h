@@ -148,6 +148,22 @@ inline bool operator!=(const CampaignSpec& a, const CampaignSpec& b)
     return !(a == b);
 }
 
+/**
+ * Parse one SimulationJob from its JSON form — the body of the
+ * service's `POST /v1/runs`:
+ * `{"accelerator": {...}, "workload": {...}, "options": {...}}`, each
+ * part using exactly the campaign-spec vocabulary (registry names,
+ * `file:` model references, profile overrides). `context` prefixes the
+ * key-path error messages. Throws std::invalid_argument on malformed
+ * input; suites are rejected (a run is one workload).
+ */
+SimulationJob simulationJobFromJson(const json::Value& value,
+                                    const std::string& context);
+
+/** Inverse of simulationJobFromJson (file-registered models serialize
+ *  back to their "file:" reference). */
+json::Value simulationJobToJson(const SimulationJob& job);
+
 /** One simulated cell of a campaign: where it sits in the spec's
  *  axes, the job that produced it, and the result. */
 struct CampaignCell
@@ -220,6 +236,17 @@ struct CampaignReport
     bool writeJsonFile(const std::string& path) const;
     bool writeCsvFile(const std::string& path) const;
 };
+
+/**
+ * Assemble a CampaignReport from a spec, its expansion, and the
+ * per-job results (results[i] belongs to expansion.jobs[i]). Shared by
+ * CampaignRunner and the serving layer, which collects the results
+ * through its own futures.
+ */
+CampaignReport assembleCampaignReport(
+    const CampaignSpec& spec,
+    const CampaignSpec::CampaignExpansion& expansion,
+    std::vector<RunResult> results);
 
 /** Per-job progress of a running campaign. */
 struct CampaignProgress

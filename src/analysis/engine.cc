@@ -106,15 +106,38 @@ SimulationEngine::workerLoop()
         }
 
         try {
-            AcceleratorRegistry& registry = AcceleratorRegistry::instance();
-            std::unique_ptr<Accelerator> accel = registry.create(
-                task.job.accelerator.name, task.job.accelerator.params);
-            RunResult result =
-                runWorkload(*accel, task.job.workload, task.job.options);
+            // Memory cache missed at submit time; the second-level
+            // cache (e.g. the on-disk ResultStore) gets its chance
+            // here, off the caller's thread.
+            std::shared_ptr<ResultCache> second_level;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (options_.memoize)
+                    second_level = second_level_;
+            }
+            RunResult result;
+            bool from_second_level = false;
+            if (second_level &&
+                second_level->fetch(task.key, &result))
+                from_second_level = true;
+
+            if (!from_second_level) {
+                AcceleratorRegistry& registry =
+                    AcceleratorRegistry::instance();
+                std::unique_ptr<Accelerator> accel = registry.create(
+                    task.job.accelerator.name,
+                    task.job.accelerator.params);
+                result = runWorkload(*accel, task.job.workload,
+                                     task.job.options);
+            }
 
             std::vector<std::promise<RunResult>> waiters;
             {
                 std::lock_guard<std::mutex> lock(mutex_);
+                if (from_second_level)
+                    ++cache_hits_;
+                else
+                    ++cache_misses_;
                 if (options_.memoize) {
                     cache_.emplace(task.key, result);
                     const auto it = inflight_.find(task.key);
@@ -124,6 +147,8 @@ SimulationEngine::workerLoop()
                     }
                 }
             }
+            if (!from_second_level && second_level)
+                second_level->publish(task.key, result);
             for (std::promise<RunResult>& waiter : waiters)
                 waiter.set_value(result);
             task.promise.set_value(std::move(result));
@@ -162,6 +187,7 @@ SimulationEngine::submit(const SimulationJob& job)
             }
             const auto computing = inflight_.find(key);
             if (computing != inflight_.end()) {
+                ++inflight_dedups_;
                 computing->second.push_back(std::move(promise));
                 return future;
             }
@@ -195,6 +221,11 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
     std::map<std::string, RunResult> snapshot; // cache hits, this batch
     std::vector<const SimulationJob*> pending;  // jobs to simulate
     std::vector<std::string> pending_keys;
+    std::shared_ptr<ResultCache> second_level;
+    if (options_.memoize) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        second_level = second_level_;
+    }
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         keys[i] = jobKey(jobs[i]);
         if (unique_index.count(keys[i]))
@@ -204,6 +235,21 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
             const auto it = cache_.find(keys[i]);
             if (it != cache_.end()) {
                 snapshot.emplace(keys[i], it->second);
+                unique_index.emplace(keys[i], kCached);
+                continue;
+            }
+        }
+        // Memory miss: the second-level cache (disk store) is next.
+        // Hits are promoted into the memory cache so later batches
+        // never touch the disk for this key again.
+        if (second_level) {
+            RunResult stored;
+            if (second_level->fetch(keys[i], &stored)) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    cache_.emplace(keys[i], stored);
+                }
+                snapshot.emplace(keys[i], std::move(stored));
                 unique_index.emplace(keys[i], kCached);
                 continue;
             }
@@ -302,9 +348,13 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
     }
 
     // Publish new results, then assemble in job order.
+    if (second_level)
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            second_level->publish(pending_keys[i], computed[i]);
     std::vector<RunResult> results(jobs.size());
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        cache_misses_ += pending.size();
         for (std::size_t i = 0; i < pending.size(); ++i)
             if (options_.memoize)
                 cache_.emplace(pending_keys[i], computed[i]);
@@ -355,6 +405,25 @@ SimulationEngine::cacheHits() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return cache_hits_;
+}
+
+EngineStats
+SimulationEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    EngineStats stats;
+    stats.entries = cache_.size();
+    stats.hits = cache_hits_;
+    stats.misses = cache_misses_;
+    stats.in_flight_dedups = inflight_dedups_;
+    return stats;
+}
+
+void
+SimulationEngine::setResultCache(std::shared_ptr<ResultCache> cache)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    second_level_ = std::move(cache);
 }
 
 void

@@ -24,6 +24,7 @@
 #include <deque>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -72,6 +73,48 @@ struct EngineOptions
 
     /** Cache results keyed by (accelerator spec, workload, options). */
     bool memoize = true;
+};
+
+/**
+ * Pluggable second-level result cache behind the in-memory memo cache
+ * (implemented by serve::ResultStore for on-disk persistence). The
+ * engine consults it only after a memory miss and publishes every
+ * freshly simulated result to it. Implementations must be thread-safe:
+ * the engine calls from its worker threads concurrently. fetch() must
+ * treat any unreadable entry as a miss — a second-level cache failure
+ * must degrade to recomputation, never to an engine error.
+ */
+class ResultCache
+{
+  public:
+    virtual ~ResultCache() = default;
+
+    /** Look up `key`; on a hit write the result to `*out` and return
+     *  true. */
+    virtual bool fetch(const std::string& key, RunResult* out) = 0;
+
+    /** Persist a freshly computed result under `key`. */
+    virtual void publish(const std::string& key,
+                         const RunResult& result) = 0;
+};
+
+/** Memoization counters, a snapshot of SimulationEngine::stats(). */
+struct EngineStats
+{
+    /** Results currently held in the in-memory cache. */
+    std::size_t entries = 0;
+
+    /** Jobs served without running a simulation: from the memory
+     *  cache, or from the second-level ResultCache. */
+    std::size_t hits = 0;
+
+    /** Simulations actually executed (every one implies a miss in
+     *  both cache levels). */
+    std::size_t misses = 0;
+
+    /** submit() calls that piggybacked on an in-flight computation of
+     *  the same key instead of enqueueing their own. */
+    std::size_t in_flight_dedups = 0;
 };
 
 /**
@@ -155,6 +198,20 @@ class SimulationEngine
     /** Jobs served from the cache since construction. */
     std::size_t cacheHits() const;
 
+    /** All memoization counters in one consistent snapshot. */
+    EngineStats stats() const;
+
+    /** Configured worker-pool size (resolved, never 0). */
+    std::size_t threads() const { return options_.threads; }
+
+    /**
+     * Install (or clear, with nullptr) the second-level result cache.
+     * Takes effect for subsequent run/runBatch/submit calls; typically
+     * set once right after construction. The engine shares ownership,
+     * so the backing store outlives any in-flight workers.
+     */
+    void setResultCache(std::shared_ptr<ResultCache> cache);
+
     void clearCache();
 
     /**
@@ -181,6 +238,9 @@ class SimulationEngine
     mutable std::mutex mutex_;
     std::map<std::string, RunResult> cache_;
     std::size_t cache_hits_ = 0;
+    std::size_t cache_misses_ = 0;
+    std::size_t inflight_dedups_ = 0;
+    std::shared_ptr<ResultCache> second_level_;
 
     // Async submission state (all guarded by mutex_).
     std::deque<AsyncTask> queue_;

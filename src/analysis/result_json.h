@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Exact JSON round trip for RunResult — the persistence format of the
+ * on-disk ResultStore (src/serve/result_store.h) and the body of the
+ * service's single-run reports.
+ *
+ * `runResultFromJson(runResultToJson(r))` reproduces every field
+ * bitwise: numbers go through json::formatDouble (shortest
+ * round-trip-exact representation) and the energy breakdown is
+ * re-charged component by component. The one deliberate exception is
+ * EnergyModel's *parameter table* (per-event energies): it only
+ * matters while a simulation is charging events, never when a finished
+ * result is read, so stored results carry the default-constructed
+ * table. Everything a report serializes — totals, breakdown, derived
+ * throughput/power — survives exactly, which is what makes disk-warm
+ * reports byte-identical to freshly computed ones.
+ */
+
+#ifndef PROSPERITY_ANALYSIS_RESULT_JSON_H
+#define PROSPERITY_ANALYSIS_RESULT_JSON_H
+
+#include "analysis/runner.h"
+#include "util/json.h"
+
+namespace prosperity {
+
+/** Serialize a finished result (schema: docs/SERVING.md). */
+json::Value runResultToJson(const RunResult& result);
+
+/**
+ * Rebuild a RunResult from runResultToJson output. Throws
+ * std::invalid_argument with a key-path message (json_schema style)
+ * on malformed input — the ResultStore turns that into a cache miss,
+ * not a crash.
+ */
+RunResult runResultFromJson(const json::Value& value);
+
+} // namespace prosperity
+
+#endif // PROSPERITY_ANALYSIS_RESULT_JSON_H

@@ -1,0 +1,193 @@
+#include "result_store.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/result_json.h"
+#include "util/json_schema.h"
+
+namespace prosperity::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** FNV-1a 64-bit; `basis` varied to derive two independent halves. */
+std::uint64_t
+fnv1a64(const std::string& s, std::uint64_t basis)
+{
+    std::uint64_t hash = basis;
+    for (const char c : s) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+} // namespace
+
+// Collisions are guarded against anyway — the entry stores the full
+// key — so 128 bits only needs to make them irrelevant in practice.
+std::string
+contentAddress(const std::string& key)
+{
+    return hex64(fnv1a64(key, 0xcbf29ce484222325ull)) +
+           hex64(fnv1a64(key, 0x9e3779b97f4a7c15ull));
+}
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        throw std::runtime_error("result store: empty directory path");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        throw std::runtime_error("result store: cannot create \"" +
+                                 dir_ + "\": " + ec.message());
+    // Probe writability now: a daemon pointed at a read-only path must
+    // fail at startup, not degrade into permanent cache misses.
+    const fs::path probe = fs::path(dir_) / ".write-probe.tmp";
+    {
+        std::ofstream os(probe);
+        if (!os)
+            throw std::runtime_error("result store: \"" + dir_ +
+                                     "\" is not writable");
+    }
+    fs::remove(probe, ec);
+}
+
+std::string
+ResultStore::pathFor(const std::string& key) const
+{
+    return (fs::path(dir_) / (contentAddress(key) + ".json")).string();
+}
+
+bool
+ResultStore::fetch(const std::string& key, RunResult* out)
+{
+    const std::string path = pathFor(key);
+    std::ifstream is(path);
+    if (!is) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return false;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+
+    // Any defect — truncation, garbage, schema drift, a key mismatch
+    // from a hash collision — is a miss, never an error: the engine
+    // recomputes and the next publish overwrites the bad entry.
+    try {
+        const json::Value entry = json::Value::parse(text.str());
+        const std::string context = "result store entry";
+        json::requireObject(entry, context);
+        const std::size_t version =
+            json::requireSize(entry, "schema_version", context);
+        if (version != static_cast<std::size_t>(kSchemaVersion)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.misses;
+            return false; // older/newer format: recompute
+        }
+        if (json::requireString(entry, "key", context) != key) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.misses;
+            return false; // hash collision: treat as absent
+        }
+        const json::Value* result = entry.find("result");
+        if (!result)
+            json::schemaError(context,
+                              "missing required key \"result\"");
+        *out = runResultFromJson(*result);
+    } catch (const std::exception&) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        ++stats_.corrupt_skipped;
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return true;
+}
+
+void
+ResultStore::publish(const std::string& key, const RunResult& result)
+{
+    json::Value entry = json::Value::object();
+    entry.set("schema_version", kSchemaVersion);
+    entry.set("key", key);
+    entry.set("result", runResultToJson(result));
+
+    std::size_t token = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        token = ++write_token_;
+    }
+    const std::string path = pathFor(key);
+    const std::string tmp = path + ".tmp." + std::to_string(token);
+    {
+        std::ofstream os(tmp);
+        if (!os)
+            return; // store became unwritable; caching is best-effort
+        entry.write(os, 2);
+        os << '\n';
+        os.flush();
+        if (!os) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    // rename() is atomic on POSIX: readers see the old entry or the
+    // complete new one, never a partial write.
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.writes;
+}
+
+std::size_t
+ResultStore::entriesOnDisk() const
+{
+    std::size_t count = 0;
+    std::error_code ec;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(dir_, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        // Exactly "<32 hex>.json": temp files and foreign files are
+        // not entries.
+        if (name.size() == 37 && name.compare(32, 5, ".json") == 0)
+            ++count;
+    }
+    return count;
+}
+
+ResultStoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace prosperity::serve

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Content-addressed, corruption-tolerant on-disk store of finished
+ * RunResults — the persistence layer that lets a restarted daemon
+ * serve warm traffic without re-running a single simulation.
+ *
+ * Layout: one JSON file per result under the store directory, named
+ * `<128-bit hash of the engine jobKey>.json` and containing
+ * `{schema_version, key, result}`. The full key is stored inside the
+ * entry and verified on every load, so a (vanishingly unlikely) hash
+ * collision degrades to a miss, never to a wrong result.
+ *
+ * Durability rules:
+ * - **Atomic publish**: entries are written to a `*.tmp.<token>` file
+ *   and rename()d into place, so a crash mid-write can leave a stray
+ *   temp file but never a half-visible entry.
+ * - **Corruption tolerance**: an entry that fails to open, parse, or
+ *   validate is counted (`stats().corrupt_skipped`) and treated as a
+ *   miss; the next publish of that key overwrites it. The store never
+ *   throws on load.
+ * - **Schema versioning**: entries written under a different
+ *   kSchemaVersion miss, forcing a recompute instead of trusting a
+ *   stale format.
+ *
+ * Implements SimulationEngine's ResultCache interface, so installing a
+ * store via setResultCache() transparently backs the engine's
+ * in-memory memo cache with disk. Thread-safe.
+ */
+
+#ifndef PROSPERITY_SERVE_RESULT_STORE_H
+#define PROSPERITY_SERVE_RESULT_STORE_H
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "analysis/engine.h"
+
+namespace prosperity::serve {
+
+/**
+ * 32-hex-digit content address of an arbitrary key string (two
+ * independent 64-bit FNV-1a halves). Names the store's entry files and
+ * derives the service's deterministic job ids — same key in, same
+ * address out, on every platform and in every process.
+ */
+std::string contentAddress(const std::string& key);
+
+/** Load/save counters of one ResultStore instance. */
+struct ResultStoreStats
+{
+    std::size_t hits = 0;    ///< fetch() found a valid entry
+    std::size_t misses = 0;  ///< fetch() found nothing usable
+    std::size_t writes = 0;  ///< publish() calls that landed on disk
+    std::size_t corrupt_skipped = 0; ///< unreadable entries tolerated
+};
+
+class ResultStore : public ResultCache
+{
+  public:
+    /** Bump when the entry format changes incompatibly; older entries
+     *  then miss and get recomputed + rewritten. */
+    static constexpr int kSchemaVersion = 1;
+
+    /**
+     * Open (creating the directory if needed) the store at `dir`.
+     * Throws std::runtime_error when the directory cannot be created
+     * or is not writable — a daemon flag typo should fail at startup,
+     * not as silent cache misses forever.
+     */
+    explicit ResultStore(std::string dir);
+
+    bool fetch(const std::string& key, RunResult* out) override;
+    void publish(const std::string& key, const RunResult& result) override;
+
+    /** Entries currently on disk (temp files excluded). */
+    std::size_t entriesOnDisk() const;
+
+    ResultStoreStats stats() const;
+
+    const std::string& dir() const { return dir_; }
+
+    /** The entry file a key maps to (exposed for tests and tooling). */
+    std::string pathFor(const std::string& key) const;
+
+  private:
+    std::string dir_;
+    mutable std::mutex mutex_; ///< guards stats_ and the write token
+    ResultStoreStats stats_;
+    std::size_t write_token_ = 0; ///< uniquifies concurrent temp files
+};
+
+} // namespace prosperity::serve
+
+#endif // PROSPERITY_SERVE_RESULT_STORE_H

@@ -1,0 +1,391 @@
+#include "service.h"
+
+#include <chrono>
+#include <functional>
+#include <sstream>
+
+#include "analysis/export.h"
+#include "analysis/result_json.h"
+#include "snn/model_registry.h"
+
+namespace prosperity::serve {
+
+namespace {
+
+/** Ready without blocking? (status poll primitive) */
+bool
+isReady(const std::shared_future<RunResult>& future)
+{
+    return future.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+}
+
+json::Value
+rosterJson(const std::vector<std::string>& names,
+           const std::function<std::string(const std::string&)>& describe)
+{
+    json::Value roster = json::Value::array();
+    for (const std::string& name : names) {
+        json::Value entry = json::Value::object();
+        entry.set("name", name);
+        entry.set("description", describe(name));
+        roster.push(std::move(entry));
+    }
+    return roster;
+}
+
+} // namespace
+
+SimulationService::SimulationService(ServiceOptions options)
+    : options_(options),
+      store_(options.store_dir.empty()
+                 ? nullptr
+                 : std::make_shared<ResultStore>(options.store_dir)),
+      engine_(EngineOptions{options.threads, true})
+{
+    if (store_)
+        engine_.setResultCache(store_);
+}
+
+std::string
+SimulationService::runId(const SimulationJob& job)
+{
+    return "run-" + contentAddress(SimulationEngine::jobKey(job));
+}
+
+std::string
+SimulationService::campaignId(const CampaignSpec& spec)
+{
+    // The canonical serialization covers every axis and option, so two
+    // specs produce the same id exactly when they run the same
+    // campaign with the same labels and metadata.
+    return "campaign-" + contentAddress(spec.toJson().dump(-1));
+}
+
+HttpResponse
+SimulationService::handle(const HttpRequest& request)
+{
+    try {
+        const std::string& path = request.path;
+        if (path == "/v1/registry") {
+            if (request.method != "GET")
+                return HttpResponse::error(405, "use GET " + path);
+            return registryRosters();
+        }
+        if (path == "/v1/stats") {
+            if (request.method != "GET")
+                return HttpResponse::error(405, "use GET " + path);
+            return statsDocument();
+        }
+        if (path == "/v1/runs") {
+            if (request.method != "POST")
+                return HttpResponse::error(405, "use POST " + path);
+            return submitRun(request);
+        }
+        if (path == "/v1/campaigns") {
+            if (request.method != "POST")
+                return HttpResponse::error(405, "use POST " + path);
+            return submitCampaign(request);
+        }
+        if (path.rfind("/v1/jobs/", 0) == 0) {
+            if (request.method != "GET")
+                return HttpResponse::error(405, "use GET " + path);
+            return jobStatus(path.substr(9));
+        }
+        if (path.rfind("/v1/reports/", 0) == 0) {
+            if (request.method != "GET")
+                return HttpResponse::error(405, "use GET " + path);
+            return report(path.substr(12),
+                          request.queryValue("format", "json"));
+        }
+        return HttpResponse::error(
+            404, "no route for " + request.method + ' ' + path +
+                     " (routes: POST /v1/runs, POST /v1/campaigns, "
+                     "GET /v1/jobs/<id>, GET /v1/reports/<id>, "
+                     "GET /v1/registry, GET /v1/stats)");
+    } catch (const json::ParseError& e) {
+        return HttpResponse::error(400, e.what());
+    } catch (const std::invalid_argument& e) {
+        return HttpResponse::error(400, e.what());
+    } catch (const std::exception& e) {
+        return HttpResponse::error(500, e.what());
+    }
+}
+
+SimulationService::RecordStatus
+SimulationService::statusOf(const JobRecord& record)
+{
+    RecordStatus status;
+    status.total = record.futures.size();
+    for (const std::shared_future<RunResult>& future : record.futures) {
+        if (!isReady(future))
+            continue;
+        try {
+            (void)future.get();
+            ++status.completed;
+        } catch (const std::exception& e) {
+            if (!status.failed)
+                status.error = e.what();
+            status.failed = true;
+        }
+    }
+    return status;
+}
+
+json::Value
+SimulationService::statusJson(const JobRecord& record,
+                              const RecordStatus& status)
+{
+    json::Value root = json::Value::object();
+    root.set("id", record.id);
+    root.set("kind", record.kind);
+    root.set("status", status.name());
+    root.set("jobs", status.total);
+    root.set("completed", status.completed);
+    if (status.failed)
+        root.set("error", status.error);
+    root.set("poll", "/v1/jobs/" + record.id);
+    root.set("report", "/v1/reports/" + record.id);
+    return root;
+}
+
+std::size_t
+SimulationService::pendingLocked() const
+{
+    std::size_t pending = 0;
+    for (const auto& [id, record] : records_)
+        for (const std::shared_future<RunResult>& future :
+             record.futures)
+            if (!isReady(future))
+                ++pending;
+    return pending;
+}
+
+bool
+SimulationService::admitLocked(std::size_t jobs,
+                               HttpResponse* rejection) const
+{
+    const std::size_t pending = pendingLocked();
+    if (pending + jobs <= options_.max_pending)
+        return true;
+    *rejection = HttpResponse::error(
+        429, "admission queue full: " + std::to_string(pending) +
+                 " simulations pending, limit " +
+                 std::to_string(options_.max_pending) +
+                 "; retry the identical request later (ids are "
+                 "deterministic, nothing is lost)");
+    return false;
+}
+
+HttpResponse
+SimulationService::submitRun(const HttpRequest& request)
+{
+    const json::Value body = json::Value::parse(request.body);
+    SimulationJob job = simulationJobFromJson(body, "run request");
+    const std::string id = runId(job);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(id);
+    if (it != records_.end()) {
+        const RecordStatus status = statusOf(it->second);
+        // Failed submissions may be retried; anything else is served
+        // from the existing record (idempotent resubmit).
+        if (!status.failed)
+            return HttpResponse::json(200,
+                                      statusJson(it->second, status));
+        records_.erase(it);
+    }
+
+    HttpResponse rejection;
+    if (!admitLocked(1, &rejection)) {
+        ++rejected_submits_;
+        return rejection;
+    }
+
+    JobRecord record;
+    record.id = id;
+    record.kind = "run";
+    record.job = job;
+    record.futures.push_back(engine_.submit(job).share());
+    ++runs_submitted_;
+    const auto [inserted, ok] = records_.emplace(id, std::move(record));
+    (void)ok;
+    return HttpResponse::json(
+        202, statusJson(inserted->second, statusOf(inserted->second)));
+}
+
+HttpResponse
+SimulationService::submitCampaign(const HttpRequest& request)
+{
+    const json::Value body = json::Value::parse(request.body);
+    CampaignSpec spec = CampaignSpec::fromJson(body);
+    CampaignSpec::CampaignExpansion expansion = spec.expand();
+    const std::string id = campaignId(spec);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = records_.find(id);
+    if (it != records_.end()) {
+        const RecordStatus status = statusOf(it->second);
+        if (!status.failed)
+            return HttpResponse::json(200,
+                                      statusJson(it->second, status));
+        records_.erase(it);
+    }
+
+    HttpResponse rejection;
+    if (!admitLocked(expansion.jobs.size(), &rejection)) {
+        ++rejected_submits_;
+        return rejection;
+    }
+
+    JobRecord record;
+    record.id = id;
+    record.kind = "campaign";
+    record.spec = std::move(spec);
+    record.futures.reserve(expansion.jobs.size());
+    for (const SimulationJob& job : expansion.jobs)
+        record.futures.push_back(engine_.submit(job).share());
+    record.expansion = std::move(expansion);
+    ++campaigns_submitted_;
+    const auto [inserted, ok] = records_.emplace(id, std::move(record));
+    (void)ok;
+    return HttpResponse::json(
+        202, statusJson(inserted->second, statusOf(inserted->second)));
+}
+
+HttpResponse
+SimulationService::jobStatus(const std::string& id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = records_.find(id);
+    if (it == records_.end())
+        return HttpResponse::error(404, "unknown job id \"" + id +
+                                            '"');
+    return HttpResponse::json(200,
+                              statusJson(it->second, statusOf(it->second)));
+}
+
+HttpResponse
+SimulationService::report(const std::string& id,
+                          const std::string& format) const
+{
+    if (format != "json" && format != "csv")
+        return HttpResponse::error(
+            400, "unknown format \"" + format +
+                     "\" (accepted: json, csv)");
+
+    // Copy the record's futures out so report assembly (which may
+    // serialize large campaigns) runs outside the service lock.
+    JobRecord record;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = records_.find(id);
+        if (it == records_.end())
+            return HttpResponse::error(404, "unknown job id \"" + id +
+                                                '"');
+        record = it->second;
+    }
+
+    const RecordStatus status = statusOf(record);
+    if (status.failed)
+        return HttpResponse::error(500, record.kind + ' ' + id +
+                                            " failed: " + status.error);
+    if (!status.done())
+        return HttpResponse::error(
+            409, record.kind + ' ' + id + " is still running (" +
+                     std::to_string(status.completed) + '/' +
+                     std::to_string(status.total) +
+                     " jobs finished); poll /v1/jobs/" + id);
+
+    if (record.kind == "run") {
+        const RunResult& result = record.futures.front().get();
+        if (format == "csv") {
+            std::ostringstream os;
+            exportRunResults(os, {result});
+            return HttpResponse::text(200, os.str(), "text/csv");
+        }
+        return HttpResponse::json(200, runResultToJson(result));
+    }
+
+    std::vector<RunResult> results;
+    results.reserve(record.futures.size());
+    for (const std::shared_future<RunResult>& future : record.futures)
+        results.push_back(future.get());
+    const CampaignReport campaign_report = assembleCampaignReport(
+        record.spec, record.expansion, std::move(results));
+    if (format == "csv") {
+        std::ostringstream os;
+        campaign_report.writeCsv(os);
+        return HttpResponse::text(200, os.str(), "text/csv");
+    }
+    // Byte-identical to CampaignReport::writeJsonFile — a warm fetch
+    // of a campaign equals the offline CLI's report file exactly.
+    return HttpResponse::json(200, campaign_report.toJson());
+}
+
+HttpResponse
+SimulationService::registryRosters() const
+{
+    const ModelRegistry& models = ModelRegistry::instance();
+    const DatasetRegistry& datasets = DatasetRegistry::instance();
+    const AcceleratorRegistry& accels = AcceleratorRegistry::instance();
+
+    json::Value root = json::Value::object();
+    root.set("accelerators",
+             rosterJson(accels.names(), [&](const std::string& name) {
+                 return accels.description(name);
+             }));
+    root.set("models",
+             rosterJson(models.names(), [&](const std::string& name) {
+                 return models.description(name);
+             }));
+    root.set("datasets",
+             rosterJson(datasets.names(), [&](const std::string& name) {
+                 return datasets.description(name);
+             }));
+    return HttpResponse::json(200, root);
+}
+
+HttpResponse
+SimulationService::statsDocument() const
+{
+    const EngineStats engine_stats = engine_.stats();
+
+    json::Value engine = json::Value::object();
+    engine.set("threads", engine_.threads());
+    engine.set("entries", engine_stats.entries);
+    engine.set("hits", engine_stats.hits);
+    engine.set("misses", engine_stats.misses);
+    engine.set("in_flight_dedups", engine_stats.in_flight_dedups);
+
+    json::Value store = json::Value::object();
+    store.set("enabled", static_cast<bool>(store_));
+    if (store_) {
+        const ResultStoreStats store_stats = store_->stats();
+        store.set("dir", store_->dir());
+        store.set("hits", store_stats.hits);
+        store.set("misses", store_stats.misses);
+        store.set("writes", store_stats.writes);
+        store.set("corrupt_skipped", store_stats.corrupt_skipped);
+        store.set("entries_on_disk", store_->entriesOnDisk());
+    }
+
+    json::Value service = json::Value::object();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        service.set("records", records_.size());
+        service.set("pending", pendingLocked());
+        service.set("max_pending", options_.max_pending);
+        service.set("runs_submitted", runs_submitted_);
+        service.set("campaigns_submitted", campaigns_submitted_);
+        service.set("rejected_submits", rejected_submits_);
+    }
+
+    json::Value root = json::Value::object();
+    root.set("engine", std::move(engine));
+    root.set("store", std::move(store));
+    root.set("service", std::move(service));
+    return HttpResponse::json(200, root);
+}
+
+} // namespace prosperity::serve

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * SimulationService: the paper's evaluation pipeline as a JSON API.
+ *
+ * Maps HTTP requests onto the async SimulationEngine:
+ *
+ * | Route                     | Meaning                                 |
+ * |---------------------------|-----------------------------------------|
+ * | `POST /v1/runs`           | submit one SimulationJob (JSON body)    |
+ * | `POST /v1/campaigns`      | submit a full CampaignSpec              |
+ * | `GET  /v1/jobs/<id>`      | poll status (pending/done/failed)       |
+ * | `GET  /v1/reports/<id>`   | fetch the finished report (JSON, or CSV |
+ * |                           | via `?format=csv`)                      |
+ * | `GET  /v1/registry`       | accelerator / model / dataset rosters   |
+ * | `GET  /v1/stats`          | engine + store + admission counters     |
+ *
+ * Job ids are **deterministic**, derived from SimulationEngine::jobKey
+ * (runs) or the canonical spec serialization (campaigns): resubmitting
+ * the same work yields the same id and reuses the existing record —
+ * the submit path is idempotent, which is what makes repeated traffic
+ * over a fixed accelerator x workload grid nearly free. Admission is
+ * bounded: submits that would push the number of unfinished
+ * simulations past ServiceOptions::max_pending get `429` and lose
+ * nothing (the client retries the identical request later).
+ *
+ * With ServiceOptions::store_dir set, a ResultStore backs the engine's
+ * memo cache, so a restarted service answers previously computed
+ * traffic from disk without re-running any simulation. A campaign
+ * report served warm is byte-identical to the cold one (and to the
+ * offline `prosperity_cli campaign` output).
+ *
+ * The service is transport-agnostic: handle() consumes an HttpRequest
+ * and produces an HttpResponse, and the daemon wires it to an
+ * HttpServer (see `prosperity_cli serve`). handle() is thread-safe.
+ */
+
+#ifndef PROSPERITY_SERVE_SERVICE_H
+#define PROSPERITY_SERVE_SERVICE_H
+
+#include <cstddef>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/campaign.h"
+#include "analysis/engine.h"
+#include "serve/http.h"
+#include "serve/result_store.h"
+
+namespace prosperity::serve {
+
+struct ServiceOptions
+{
+    /** Engine worker threads; 0 = hardware concurrency. */
+    std::size_t threads = 0;
+
+    /** Result-store directory; empty = in-memory caching only. */
+    std::string store_dir;
+
+    /** Admission bound: submits are rejected with 429 while this many
+     *  simulations are still unfinished. */
+    std::size_t max_pending = 256;
+};
+
+class SimulationService
+{
+  public:
+    /** Throws std::runtime_error when store_dir cannot be opened. */
+    explicit SimulationService(ServiceOptions options = {});
+
+    SimulationService(const SimulationService&) = delete;
+    SimulationService& operator=(const SimulationService&) = delete;
+
+    /** Route one request (thread-safe; the HttpServer handler). */
+    HttpResponse handle(const HttpRequest& request);
+
+    SimulationEngine& engine() { return engine_; }
+    const ResultStore* store() const { return store_.get(); }
+
+    /** Deterministic id of a single-run job ("run-<32 hex>"). */
+    static std::string runId(const SimulationJob& job);
+
+    /** Deterministic id of a campaign ("campaign-<32 hex>"). */
+    static std::string campaignId(const CampaignSpec& spec);
+
+  private:
+    /** One submitted run or campaign and its in-flight futures. */
+    struct JobRecord
+    {
+        std::string id;
+        std::string kind; ///< "run" or "campaign"
+        SimulationJob job;                            ///< runs
+        CampaignSpec spec;                            ///< campaigns
+        CampaignSpec::CampaignExpansion expansion;    ///< campaigns
+        std::vector<std::shared_future<RunResult>> futures;
+    };
+
+    /** Poll snapshot of a record (no blocking). */
+    struct RecordStatus
+    {
+        std::size_t total = 0;
+        std::size_t completed = 0;
+        bool failed = false;
+        std::string error;
+
+        bool done() const { return !failed && completed == total; }
+        const char* name() const
+        {
+            return failed ? "failed" : done() ? "done" : "pending";
+        }
+    };
+
+    HttpResponse submitRun(const HttpRequest& request);
+    HttpResponse submitCampaign(const HttpRequest& request);
+    HttpResponse jobStatus(const std::string& id) const;
+    HttpResponse report(const std::string& id,
+                        const std::string& format) const;
+    HttpResponse registryRosters() const;
+    HttpResponse statsDocument() const;
+
+    static RecordStatus statusOf(const JobRecord& record);
+    static json::Value statusJson(const JobRecord& record,
+                                  const RecordStatus& status);
+
+    /** Unfinished simulations across all records; mutex_ held. */
+    std::size_t pendingLocked() const;
+
+    /** 429 when admitting `jobs` more would exceed max_pending;
+     *  mutex_ held. Returns true when admission is granted. */
+    bool admitLocked(std::size_t jobs, HttpResponse* rejection) const;
+
+    ServiceOptions options_;
+    std::shared_ptr<ResultStore> store_; ///< shared with the engine
+    SimulationEngine engine_;
+
+    mutable std::mutex mutex_; ///< guards records_ and the counters
+    std::map<std::string, JobRecord> records_;
+    std::size_t runs_submitted_ = 0;
+    std::size_t campaigns_submitted_ = 0;
+    std::size_t rejected_submits_ = 0;
+};
+
+} // namespace prosperity::serve
+
+#endif // PROSPERITY_SERVE_SERVICE_H

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the SimulationService JSON API over real loopback HTTP:
+ * submit/poll/fetch round trips, campaign reports byte-identical to
+ * the offline CampaignRunner, concurrent duplicate submits deduped to
+ * one simulation, structured key-path errors for malformed requests,
+ * bounded admission, and disk-warm restarts that re-run nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+
+namespace prosperity::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Service + server on an ephemeral port, fresh per test. */
+class ServiceTest : public ::testing::Test
+{
+  protected:
+    void startService(ServiceOptions options = {})
+    {
+        service_ = std::make_unique<SimulationService>(options);
+        HttpServerOptions server_options;
+        server_options.port = 0;
+        server_options.threads = 2;
+        server_ = std::make_unique<HttpServer>(
+            server_options, [this](const HttpRequest& request) {
+                return service_->handle(request);
+            });
+        server_->start();
+    }
+
+    void stopService()
+    {
+        if (server_)
+            server_->stop();
+        server_.reset();
+        service_.reset();
+    }
+
+    void TearDown() override
+    {
+        stopService();
+        if (!store_dir_.empty())
+            fs::remove_all(store_dir_);
+    }
+
+    /** A per-test scratch store directory. */
+    const std::string& storeDir()
+    {
+        if (store_dir_.empty()) {
+            store_dir_ =
+                (fs::temp_directory_path() /
+                 ("prosperity_service_test_" +
+                  std::string(::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name())))
+                    .string();
+            fs::remove_all(store_dir_);
+        }
+        return store_dir_;
+    }
+
+    HttpClient client() { return HttpClient(server_->port()); }
+
+    static std::string smokeSpecText()
+    {
+        std::ifstream is(defaultCampaignDir() + "/smoke.json");
+        std::ostringstream text;
+        text << is.rdbuf();
+        return text.str();
+    }
+
+    /** POST a body, then poll its job until done (or fail the test). */
+    std::string submitAndWait(HttpClient& http, const std::string& route,
+                              const std::string& body)
+    {
+        const HttpResponse submitted = http.post(route, body);
+        EXPECT_TRUE(submitted.status == 202 || submitted.status == 200)
+            << submitted.body;
+        const json::Value ack = json::Value::parse(submitted.body);
+        const std::string id = ack.at("id").asString();
+        for (int i = 0; i < 600; ++i) {
+            const HttpResponse polled = http.get("/v1/jobs/" + id);
+            EXPECT_EQ(polled.status, 200) << polled.body;
+            const std::string status = json::Value::parse(polled.body)
+                                           .at("status")
+                                           .asString();
+            if (status == "done")
+                return id;
+            EXPECT_NE(status, "failed") << polled.body;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+        ADD_FAILURE() << "job " << id << " never finished";
+        return id;
+    }
+
+    std::unique_ptr<SimulationService> service_;
+    std::unique_ptr<HttpServer> server_;
+    std::string store_dir_;
+};
+
+const char* kRunBody = R"({
+  "accelerator": {"name": "eyeriss"},
+  "workload": {"model": "LeNet5", "dataset": "MNIST"},
+  "options": {"seed": 7}
+})";
+
+TEST_F(ServiceTest, RegistryListsTheRosters)
+{
+    startService();
+    HttpClient http = client();
+    const HttpResponse response = http.get("/v1/registry");
+    ASSERT_EQ(response.status, 200);
+    const json::Value body = json::Value::parse(response.body);
+    std::vector<std::string> accelerators;
+    for (const json::Value& entry :
+         body.at("accelerators").asArray())
+        accelerators.push_back(entry.at("name").asString());
+    EXPECT_NE(std::find(accelerators.begin(), accelerators.end(),
+                        "prosperity"),
+              accelerators.end());
+    EXPECT_FALSE(body.at("models").asArray().empty());
+    EXPECT_FALSE(body.at("datasets").asArray().empty());
+}
+
+TEST_F(ServiceTest, RunSubmitPollFetchMatchesOfflineEngine)
+{
+    startService();
+    HttpClient http = client();
+    const std::string id =
+        submitAndWait(http, "/v1/runs", kRunBody);
+
+    const HttpResponse report = http.get("/v1/reports/" + id);
+    ASSERT_EQ(report.status, 200) << report.body;
+    const json::Value body = json::Value::parse(report.body);
+
+    SimulationEngine offline;
+    SimulationJob job;
+    job.accelerator = AcceleratorSpec("eyeriss");
+    job.workload = makeWorkload("LeNet5", "MNIST");
+    const RunResult expected = offline.run(job);
+    EXPECT_EQ(body.at("cycles").asNumber(), expected.cycles);
+    EXPECT_EQ(body.at("accelerator").asString(), expected.accelerator);
+
+    // Deterministic ids: the same job submitted again is the same
+    // record, answered instantly (200, not 202).
+    const HttpResponse again = http.post("/v1/runs", kRunBody);
+    EXPECT_EQ(again.status, 200);
+    EXPECT_EQ(json::Value::parse(again.body).at("id").asString(), id);
+}
+
+TEST_F(ServiceTest, CampaignReportIsByteIdenticalToOfflineRunner)
+{
+    startService();
+    HttpClient http = client();
+    const std::string id =
+        submitAndWait(http, "/v1/campaigns", smokeSpecText());
+    const HttpResponse report = http.get("/v1/reports/" + id);
+    ASSERT_EQ(report.status, 200);
+
+    // The offline path: same spec through CampaignRunner, serialized
+    // the way writeJsonFile would.
+    SimulationEngine engine;
+    CampaignRunner runner(engine);
+    const CampaignSpec spec =
+        CampaignSpec::fromJson(json::Value::parse(smokeSpecText()));
+    const CampaignReport offline = runner.run(spec);
+    EXPECT_EQ(report.body, offline.toJson().dump(2) + "\n");
+
+    // CSV view of the same report.
+    const HttpResponse csv =
+        http.get("/v1/reports/" + id + "?format=csv");
+    ASSERT_EQ(csv.status, 200);
+    EXPECT_EQ(csv.content_type, "text/csv");
+    std::ostringstream expected_csv;
+    offline.writeCsv(expected_csv);
+    EXPECT_EQ(csv.body, expected_csv.str());
+}
+
+TEST_F(ServiceTest, ConcurrentDuplicateSubmitsRunOneSimulation)
+{
+    startService();
+    constexpr int kClients = 6;
+    std::vector<std::thread> threads;
+    std::vector<std::string> ids(kClients);
+    for (int t = 0; t < kClients; ++t)
+        threads.emplace_back([&, t] {
+            HttpClient http(server_->port());
+            const HttpResponse response =
+                http.post("/v1/runs", kRunBody);
+            if (response.status == 200 || response.status == 202)
+                ids[t] = json::Value::parse(response.body)
+                             .at("id")
+                             .asString();
+        });
+    for (std::thread& thread : threads)
+        thread.join();
+    for (int t = 1; t < kClients; ++t)
+        EXPECT_EQ(ids[t], ids[0]);
+
+    HttpClient http = client();
+    submitAndWait(http, "/v1/runs", kRunBody);
+    // However many clients raced, exactly one simulation ran.
+    EXPECT_EQ(service_->engine().stats().misses, 1u);
+}
+
+TEST_F(ServiceTest, MalformedJsonIs400WithPosition)
+{
+    startService();
+    HttpClient http = client();
+    const HttpResponse response =
+        http.post("/v1/runs", "{\"accelerator\": ");
+    EXPECT_EQ(response.status, 400);
+    const std::string message = json::Value::parse(response.body)
+                                    .at("error")
+                                    .at("message")
+                                    .asString();
+    EXPECT_NE(message.find("line"), std::string::npos) << message;
+}
+
+TEST_F(ServiceTest, UnknownAcceleratorIs400WithKeyPathAndRoster)
+{
+    startService();
+    HttpClient http = client();
+    const HttpResponse response = http.post(
+        "/v1/runs",
+        R"({"accelerator": {"name": "warpdrive"},
+            "workload": {"model": "LeNet5", "dataset": "MNIST"}})");
+    EXPECT_EQ(response.status, 400);
+    const std::string message = json::Value::parse(response.body)
+                                    .at("error")
+                                    .at("message")
+                                    .asString();
+    EXPECT_NE(message.find("run request: accelerator"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("prosperity"), std::string::npos) << message;
+}
+
+TEST_F(ServiceTest, UnknownRouteAndIdAre404)
+{
+    startService();
+    HttpClient http = client();
+    EXPECT_EQ(http.get("/v2/everything").status, 404);
+    EXPECT_EQ(http.get("/v1/jobs/run-does-not-exist").status, 404);
+    EXPECT_EQ(http.get("/v1/reports/run-does-not-exist").status, 404);
+    // Wrong method on a known route.
+    EXPECT_EQ(http.get("/v1/runs").status, 405);
+}
+
+TEST_F(ServiceTest, AdmissionIsBounded)
+{
+    ServiceOptions options;
+    options.max_pending = 0; // every new simulation exceeds the bound
+    startService(options);
+    HttpClient http = client();
+    const HttpResponse response = http.post("/v1/runs", kRunBody);
+    EXPECT_EQ(response.status, 429);
+    const std::string message = json::Value::parse(response.body)
+                                    .at("error")
+                                    .at("message")
+                                    .asString();
+    EXPECT_NE(message.find("admission"), std::string::npos) << message;
+}
+
+TEST_F(ServiceTest, StatsDocumentTracksTheTraffic)
+{
+    startService();
+    HttpClient http = client();
+    submitAndWait(http, "/v1/runs", kRunBody);
+    const HttpResponse response = http.get("/v1/stats");
+    ASSERT_EQ(response.status, 200);
+    const json::Value body = json::Value::parse(response.body);
+    EXPECT_EQ(body.at("engine").at("misses").asNumber(), 1.0);
+    EXPECT_EQ(body.at("service").at("runs_submitted").asNumber(), 1.0);
+    EXPECT_EQ(body.at("service").at("pending").asNumber(), 0.0);
+    EXPECT_FALSE(body.at("store").at("enabled").asBool());
+}
+
+TEST_F(ServiceTest, WarmRestartServesFromStoreWithoutSimulating)
+{
+    ServiceOptions options;
+    options.store_dir = storeDir();
+    startService(options);
+    std::string cold_report;
+    std::string id;
+    {
+        HttpClient http = client();
+        id = submitAndWait(http, "/v1/campaigns", smokeSpecText());
+        cold_report = http.get("/v1/reports/" + id).body;
+    }
+    const std::size_t jobs_in_campaign =
+        CampaignSpec::fromJson(json::Value::parse(smokeSpecText()))
+            .expandJobs()
+            .size();
+    stopService();
+
+    // A brand-new service process on the same store directory: the
+    // same campaign must complete from disk alone.
+    startService(options);
+    HttpClient http = client();
+    const std::string warm_id =
+        submitAndWait(http, "/v1/campaigns", smokeSpecText());
+    EXPECT_EQ(warm_id, id); // deterministic campaign ids
+    const HttpResponse warm_report =
+        http.get("/v1/reports/" + warm_id);
+    EXPECT_EQ(warm_report.body, cold_report);
+
+    EXPECT_EQ(service_->engine().stats().misses, 0u)
+        << "warm restart re-ran a simulation";
+    ASSERT_NE(service_->store(), nullptr);
+    EXPECT_EQ(service_->store()->stats().hits, jobs_in_campaign);
+}
+
+} // namespace
+} // namespace prosperity::serve
