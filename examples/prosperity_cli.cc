@@ -19,15 +19,21 @@
  *       with the offending key path on errors.
  *   prosperity_cli campaign <spec.json> [--out report.json]
  *                  [--csv-out report.csv] [--quiet] [--threads N]
+ *                  [--seeds N] [--store DIR]
  *       Execute a declarative campaign spec (campaigns/<name>.json or
  *       any path; a bare name resolves against the checked-in
  *       campaigns directory). Streams per-job progress, prints the
  *       derived speedup / energy-efficiency tables, and optionally
  *       writes the structured JSON / CSV report. Workloads may
  *       reference JSON models by "file:models/<name>.json".
+ *       Specs with a "sampling" block run adaptively: every cell
+ *       draws seeds until its metrics' confidence intervals are
+ *       within the plan's eps (docs/CAMPAIGNS.md). --seeds N widens
+ *       any spec to exactly N seeds per cell without editing JSON.
  *       --threads sizes the engine's worker pool (default: hardware
- *       concurrency); --quiet replaces the tables with one summary
- *       line of engine cache statistics.
+ *       concurrency); --store persists results to a ResultStore
+ *       directory shared with the daemon; --quiet replaces the
+ *       tables with one summary line of engine cache statistics.
  *   prosperity_cli serve [--port P] [--store DIR] [--threads N]
  *                  [--max-pending N]
  *       Run the simulation-as-a-service HTTP daemon (see
@@ -64,6 +70,7 @@
 #include "analysis/density.h"
 #include "analysis/export.h"
 #include "serve/http.h"
+#include "serve/result_store.h"
 #include "serve/service.h"
 #include "snn/model_desc.h"
 #include "snn/model_registry.h"
@@ -89,7 +96,8 @@ usage()
            " [--dataset <name>]\n"
         << "  prosperity_cli model validate <file.json>\n"
         << "  prosperity_cli campaign <spec.json> [--out report.json]"
-           " [--csv-out report.csv] [--quiet] [--threads N]\n"
+           " [--csv-out report.csv] [--quiet] [--threads N]"
+           " [--seeds N] [--store DIR]\n"
         << "  prosperity_cli serve [--port P] [--store DIR]"
            " [--threads N] [--max-pending N]\n";
     return 2;
@@ -121,6 +129,43 @@ parseThreads(const std::string& value, std::size_t* threads)
         return false;
     }
     *threads = parsed;
+    return true;
+}
+
+/**
+ * Parse a `--seeds N` per-cell seed count (the CLI override that
+ * widens a spec without editing JSON). Mirrors parseThreads' style:
+ * non-numbers, zero and negatives are rejected with what to pass
+ * instead. N must be >= 2 — one seed per cell is exactly the
+ * fixed-seed default, so the flag would be a no-op spelled confusingly.
+ */
+bool
+parseSeeds(const std::string& value, std::size_t* seeds)
+{
+    long long parsed = 0;
+    try {
+        std::size_t consumed = 0;
+        parsed = std::stoll(value, &consumed);
+        if (consumed != value.size())
+            throw std::invalid_argument(value);
+    } catch (const std::exception&) {
+        std::cerr << "--seeds needs a positive integer, got \"" << value
+                  << "\"\n";
+        return false;
+    }
+    if (parsed <= 0) {
+        std::cerr << "--seeds " << parsed
+                  << " is not a usable seed count; pass the number of "
+                     "seeds every cell should draw (2 or more; omit "
+                     "the flag to keep the spec's own sampling)\n";
+        return false;
+    }
+    if (parsed == 1) {
+        std::cerr << "--seeds 1 is the fixed-seed default — omit the "
+                     "flag, or pass 2 or more to widen every cell\n";
+        return false;
+    }
+    *seeds = static_cast<std::size_t>(parsed);
     return true;
 }
 
@@ -328,9 +373,10 @@ cmdDensity(const Workload& workload, bool two_prefix)
 int
 cmdCampaign(int argc, char** argv)
 {
-    std::string spec_path, out_json, out_csv;
+    std::string spec_path, out_json, out_csv, store_dir;
     bool quiet = false;
     std::size_t threads = 0; // 0 = hardware concurrency
+    std::size_t seeds = 0;   // 0 = keep the spec's own sampling
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quiet") {
@@ -342,6 +388,19 @@ cmdCampaign(int argc, char** argv)
             }
             if (!parseThreads(argv[++i], &threads))
                 return 2;
+        } else if (arg == "--seeds") {
+            if (i + 1 >= argc) {
+                std::cerr << "--seeds needs a per-cell seed count\n";
+                return usage();
+            }
+            if (!parseSeeds(argv[++i], &seeds))
+                return 2;
+        } else if (arg == "--store") {
+            if (i + 1 >= argc) {
+                std::cerr << "--store needs a directory argument\n";
+                return usage();
+            }
+            store_dir = argv[++i];
         } else if (arg == "--out" || arg == "--csv-out") {
             if (i + 1 >= argc) {
                 std::cerr << arg << " needs a file argument\n";
@@ -376,13 +435,42 @@ cmdCampaign(int argc, char** argv)
         return 2;
     }
 
+    // --seeds N: widen any spec to exactly N seeds per cell (adaptive
+    // machinery with the stopping rule pinned to the cap).
+    if (seeds != 0) {
+        stats::SamplingPlan plan =
+            spec.sampling ? *spec.sampling : stats::SamplingPlan{};
+        plan.min_seeds = seeds;
+        plan.max_seeds = seeds;
+        spec.sampling = plan;
+    }
+
     if (!quiet && !spec.description.empty())
         std::cout << spec.name << ": " << spec.description << '\n';
 
     SimulationEngine engine(EngineOptions{threads, true});
+    std::shared_ptr<serve::ResultStore> store;
+    if (!store_dir.empty()) {
+        try {
+            store = std::make_shared<serve::ResultStore>(store_dir);
+        } catch (const std::exception& e) {
+            std::cerr << e.what() << '\n';
+            return 2;
+        }
+        engine.setResultCache(store);
+    }
     CampaignRunner runner(engine);
     CampaignRunner::ProgressCallback progress;
-    if (!quiet) {
+    if (!quiet && spec.sampling) {
+        progress = [](const CampaignProgress& p) {
+            std::cout << "  [seed " << p.completed << "] cell "
+                      << (p.job_index + 1) << " n=" << p.seeds_drawn
+                      << ": " << p.result->accelerator << " on "
+                      << p.result->workload << ": "
+                      << Table::num(p.result->seconds() * 1e3, 3)
+                      << " ms\n";
+        };
+    } else if (!quiet) {
         progress = [](const CampaignProgress& p) {
             std::cout << "  [" << p.completed << '/' << p.total << "] "
                       << p.result->accelerator << " on "
@@ -409,7 +497,25 @@ cmdCampaign(int argc, char** argv)
                   << stats.misses << " simulated, " << stats.hits
                   << " cache hits, " << stats.in_flight_dedups
                   << " in-flight dedups, " << stats.entries
-                  << " cache entries\n";
+                  << " cache entries";
+        if (spec.sampling) {
+            std::size_t total_seeds = 0, converged = 0, cells = 0;
+            for (const CampaignCell& c : report.cells) {
+                if (!c.sampling)
+                    continue;
+                ++cells;
+                total_seeds += c.sampling->n_seeds;
+                converged += c.sampling->converged ? 1 : 0;
+            }
+            std::cout << ", " << total_seeds << " seeds, " << converged
+                      << '/' << cells << " cells converged";
+        }
+        if (store)
+            std::cout << ", store defects: " << stats.store_corrupt
+                      << " corrupt / " << stats.store_truncated
+                      << " truncated / " << stats.store_version_mismatch
+                      << " version-mismatch";
+        std::cout << '\n';
     } else {
         toTable(report.speedupTable(),
                 "Speedup vs " + spec.baselineLabel() + " — " +
@@ -420,6 +526,35 @@ cmdCampaign(int argc, char** argv)
                 "Energy efficiency vs " + spec.baselineLabel() + " — " +
                     spec.name)
             .print(std::cout);
+        if (spec.sampling) {
+            std::cout << '\n';
+            Table sampling("Adaptive sampling — " + spec.name +
+                           " (eps " +
+                           Table::num(spec.sampling->eps, 3) +
+                           (spec.sampling->relative ? " relative"
+                                                    : " absolute") +
+                           ", alpha " +
+                           Table::num(spec.sampling->alpha, 3) + ")");
+            std::vector<std::string> header = {"cell", "seeds",
+                                               "converged"};
+            for (const std::string& metric : spec.sampling->metrics)
+                header.push_back(metric + " mean ± CI");
+            sampling.setHeader(std::move(header));
+            for (const CampaignCell& c : report.cells) {
+                if (!c.sampling)
+                    continue;
+                std::vector<std::string> row = {
+                    spec.accelerators[c.accelerator_index].label +
+                        " on " + c.result.workload,
+                    std::to_string(c.sampling->n_seeds),
+                    c.sampling->converged ? "yes" : "AT CAP"};
+                for (const stats::MetricStats& m : c.sampling->metrics)
+                    row.push_back(Table::num(m.mean) + " ± " +
+                                  Table::num(m.half_width));
+                sampling.addRow(std::move(row));
+            }
+            sampling.print(std::cout);
+        }
     }
 
     if (!out_json.empty()) {

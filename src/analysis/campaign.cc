@@ -13,6 +13,7 @@
 #include "analysis/export.h"
 #include "snn/model_desc.h"
 #include "snn/model_registry.h"
+#include "stats/adaptive_runner.h"
 #include "util/json_schema.h"
 
 namespace prosperity {
@@ -29,7 +30,8 @@ operator==(const CampaignSpec& a, const CampaignSpec& b)
     return a.name == b.name && a.description == b.description &&
            a.expansion == b.expansion && a.baseline == b.baseline &&
            a.accelerators == b.accelerators &&
-           a.workloads == b.workloads && a.options == b.options;
+           a.workloads == b.workloads && a.options == b.options &&
+           a.sampling == b.sampling;
 }
 
 std::vector<RunOptions>
@@ -306,7 +308,8 @@ CampaignSpec::fromJson(const json::Value& value)
     json::requireObject(value, top);
     json::expectOnlyKeys(value,
                          {"name", "description", "expansion", "baseline",
-                          "accelerators", "workloads", "options"},
+                          "accelerators", "workloads", "options",
+                          "sampling"},
                          top);
 
     CampaignSpec spec;
@@ -346,6 +349,10 @@ CampaignSpec::fromJson(const json::Value& value)
                 options[i],
                 specContext("options[" + std::to_string(i) + "]")));
     }
+
+    if (const json::Value* sampling = value.find("sampling"))
+        spec.sampling = stats::SamplingPlan::fromJson(
+            *sampling, specContext("sampling"));
 
     spec.baseline = json::optionalString(value, "baseline", "", top);
     // Validate axes, labels and baseline now so load-time errors point
@@ -423,6 +430,8 @@ CampaignSpec::toJson() const
         }
         root.set("options", std::move(opts));
     }
+    if (sampling)
+        root.set("sampling", sampling->toJson());
     return root;
 }
 
@@ -739,6 +748,8 @@ CampaignReport::toJson() const
             }
             entry.set("layers", std::move(layers));
         }
+        if (c.sampling)
+            entry.set("sampling", c.sampling->toJson());
         cells_json.push(std::move(entry));
     }
     root.set("cells", std::move(cells_json));
@@ -756,22 +767,46 @@ void
 CampaignReport::writeCsv(std::ostream& os) const
 {
     CsvWriter csv(os);
-    csv.writeRow({"accelerator", "workload", "model", "dataset", "seed",
-                  "cycles", "seconds", "gops", "gopj", "energy_pj",
-                  "avg_power_w", "dram_bytes"});
+    std::vector<std::string> header = {
+        "accelerator", "workload", "model",     "dataset",
+        "seed",        "cycles",   "seconds",   "gops",
+        "gopj",        "energy_pj", "avg_power_w", "dram_bytes"};
+    // Adaptive campaigns append sampling columns; fixed-seed CSVs are
+    // byte-identical to before the sampling layer existed.
+    if (spec.sampling) {
+        header.push_back("n_seeds");
+        header.push_back("converged");
+        for (const std::string& metric : spec.sampling->metrics) {
+            header.push_back(metric + "_mean");
+            header.push_back(metric + "_ci_half_width");
+        }
+    }
+    csv.writeRow(header);
     for (const CampaignCell& c : cells) {
         const RunResult& r = c.result;
         const Workload& w = spec.workloads[c.workload_index];
-        csv.writeRow({spec.accelerators[c.accelerator_index].label,
-                      r.workload, w.modelName(), w.datasetName(),
-                      std::to_string(c.job.options.seed),
-                      CsvWriter::cell(r.cycles),
-                      CsvWriter::cell(r.seconds()),
-                      CsvWriter::cell(r.gops()),
-                      CsvWriter::cell(r.gopj()),
-                      CsvWriter::cell(r.energy.totalPj()),
-                      CsvWriter::cell(r.averagePowerW()),
-                      CsvWriter::cell(r.dram_bytes)});
+        std::vector<std::string> row = {
+            spec.accelerators[c.accelerator_index].label,
+            r.workload,
+            w.modelName(),
+            w.datasetName(),
+            std::to_string(c.job.options.seed),
+            CsvWriter::cell(r.cycles),
+            CsvWriter::cell(r.seconds()),
+            CsvWriter::cell(r.gops()),
+            CsvWriter::cell(r.gopj()),
+            CsvWriter::cell(r.energy.totalPj()),
+            CsvWriter::cell(r.averagePowerW()),
+            CsvWriter::cell(r.dram_bytes)};
+        if (spec.sampling && c.sampling) {
+            row.push_back(std::to_string(c.sampling->n_seeds));
+            row.push_back(c.sampling->converged ? "1" : "0");
+            for (const stats::MetricStats& m : c.sampling->metrics) {
+                row.push_back(CsvWriter::cell(m.mean));
+                row.push_back(CsvWriter::cell(m.half_width));
+            }
+        }
+        csv.writeRow(row);
     }
 }
 
@@ -823,6 +858,37 @@ CampaignRunner::run(const CampaignSpec& spec,
                     const ProgressCallback& progress) const
 {
     const CampaignSpec::CampaignExpansion expansion = spec.expand();
+
+    if (spec.sampling) {
+        stats::AdaptiveProgressCallback adaptive_progress;
+        if (progress)
+            adaptive_progress =
+                [&](const stats::AdaptiveProgress& p) {
+                    CampaignProgress out;
+                    out.completed = p.total_seeds;
+                    out.total = 0; // open-ended: the rule decides
+                    out.job_index = p.job_index;
+                    out.seeds_drawn = p.seeds_drawn;
+                    out.job = p.job;
+                    out.result = p.result;
+                    progress(out);
+                };
+        std::vector<stats::AdaptiveCellOutcome> outcomes =
+            stats::runAdaptive(engine_, expansion.jobs, *spec.sampling,
+                               adaptive_progress);
+        std::vector<RunResult> results;
+        results.reserve(outcomes.size());
+        for (stats::AdaptiveCellOutcome& outcome : outcomes)
+            results.push_back(std::move(outcome.first));
+        CampaignReport report =
+            assembleCampaignReport(spec, expansion, std::move(results));
+        // report.cells[i] came from expansion.cells[i]; attach each
+        // cell's sampling outcome through its unique-job index.
+        for (std::size_t i = 0; i < report.cells.size(); ++i)
+            report.cells[i].sampling =
+                outcomes[expansion.cells[i].job_index].sampling;
+        return report;
+    }
 
     std::vector<std::future<RunResult>> futures;
     futures.reserve(expansion.jobs.size());

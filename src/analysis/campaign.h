@@ -32,12 +32,15 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "analysis/engine.h"
 #include "sim/table.h"
+#include "stats/sampling_plan.h"
+#include "stats/stopping.h"
 #include "util/json.h"
 
 namespace prosperity {
@@ -86,6 +89,15 @@ struct CampaignSpec
     std::vector<CampaignAccelerator> accelerators;
     std::vector<Workload> workloads;
     std::vector<RunOptions> options;
+
+    /**
+     * When set, the campaign is *adaptive*: every unique job becomes a
+     * Monte Carlo cell run until the plan's confidence target (or seed
+     * cap), via stats::runAdaptive. Absent = classic fixed-seed
+     * campaign, byte-identical specs and reports to before this field
+     * existed.
+     */
+    std::optional<stats::SamplingPlan> sampling;
 
     /** The effective options axis (one default when `options` is empty). */
     std::vector<RunOptions> effectiveOptions() const;
@@ -172,7 +184,11 @@ struct CampaignCell
     std::size_t workload_index = 0;
     std::size_t option_index = 0;
     SimulationJob job;
+    /** In adaptive campaigns, the seed-index-0 result — bitwise the
+     *  result a fixed-seed run of the same spec produces. */
     RunResult result;
+    /** Per-cell sampling outcome; set only for adaptive campaigns. */
+    std::optional<stats::CellSampling> sampling;
 };
 
 /**
@@ -248,12 +264,19 @@ CampaignReport assembleCampaignReport(
     const CampaignSpec::CampaignExpansion& expansion,
     std::vector<RunResult> results);
 
-/** Per-job progress of a running campaign. */
+/**
+ * Per-job progress of a running campaign. Fixed-seed campaigns report
+ * once per unique job (completed/total count jobs, seeds_drawn is 0).
+ * Adaptive campaigns report once per *seed*: completed counts seeds
+ * drawn campaign-wide, total is 0 (the stopping rule decides it),
+ * job_index/job name the cell and seeds_drawn its seeds so far.
+ */
 struct CampaignProgress
 {
-    std::size_t completed = 0; ///< jobs finished, including this one
-    std::size_t total = 0;     ///< unique jobs in the campaign
+    std::size_t completed = 0; ///< jobs (or seeds) finished so far
+    std::size_t total = 0;     ///< unique jobs; 0 when open-ended
     std::size_t job_index = 0; ///< into CampaignExpansion::jobs
+    std::size_t seeds_drawn = 0; ///< this cell's seeds (adaptive only)
     const SimulationJob* job = nullptr;
     const RunResult* result = nullptr;
 };
@@ -277,6 +300,13 @@ class CampaignRunner
      * Expand and simulate `spec`, invoking `progress` (when set) once
      * per unique job in deterministic job order. Propagates engine
      * errors (unknown accelerator, bad params) as exceptions.
+     *
+     * Specs with a sampling plan dispatch to stats::runAdaptive: each
+     * unique job is run over derived seed substreams until the plan's
+     * stopping rule fires, progress is reported per seed (see
+     * CampaignProgress), and every report cell carries its
+     * CellSampling. The report — including the seeds drawn — is
+     * bitwise identical for any engine thread count.
      */
     CampaignReport run(const CampaignSpec& spec,
                        const ProgressCallback& progress = {}) const;

@@ -410,12 +410,24 @@ SimulationEngine::cacheHits() const
 EngineStats
 SimulationEngine::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<ResultCache> second_level;
     EngineStats stats;
-    stats.entries = cache_.size();
-    stats.hits = cache_hits_;
-    stats.misses = cache_misses_;
-    stats.in_flight_dedups = inflight_dedups_;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats.entries = cache_.size();
+        stats.hits = cache_hits_;
+        stats.misses = cache_misses_;
+        stats.in_flight_dedups = inflight_dedups_;
+        second_level = second_level_;
+    }
+    // health() outside mutex_: implementations take their own lock and
+    // may be mid-fetch on a worker that also wants mutex_.
+    if (second_level) {
+        const ResultCacheHealth health = second_level->health();
+        stats.store_corrupt = health.corrupt;
+        stats.store_truncated = health.truncated;
+        stats.store_version_mismatch = health.version_mismatch;
+    }
     return stats;
 }
 

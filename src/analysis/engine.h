@@ -84,6 +84,21 @@ struct EngineOptions
  * treat any unreadable entry as a miss — a second-level cache failure
  * must degrade to recomputation, never to an engine error.
  */
+/**
+ * Defect counters of a second-level ResultCache: entries it declined
+ * to trust, by failure class. All three are misses from the engine's
+ * point of view; the split exists so operators can tell "disk is
+ * rotting" (corrupt), "a writer died mid-publish or the file was cut
+ * short" (truncated) and "the store was written by another schema
+ * rev" (version_mismatch) apart.
+ */
+struct ResultCacheHealth
+{
+    std::size_t corrupt = 0;   ///< parsed/validated wrong (not truncation)
+    std::size_t truncated = 0; ///< entry text cut short (no closing brace)
+    std::size_t version_mismatch = 0; ///< schema_version != current
+};
+
 class ResultCache
 {
   public:
@@ -96,6 +111,10 @@ class ResultCache
     /** Persist a freshly computed result under `key`. */
     virtual void publish(const std::string& key,
                          const RunResult& result) = 0;
+
+    /** Defect counters since construction; default: a cache with no
+     *  failure classes to report. Thread-safe like fetch/publish. */
+    virtual ResultCacheHealth health() const { return {}; }
 };
 
 /** Memoization counters, a snapshot of SimulationEngine::stats(). */
@@ -115,6 +134,12 @@ struct EngineStats
     /** submit() calls that piggybacked on an in-flight computation of
      *  the same key instead of enqueueing their own. */
     std::size_t in_flight_dedups = 0;
+
+    /** Second-level ResultCache defect counters (all zero when no
+     *  second level is installed); see ResultCacheHealth. */
+    std::size_t store_corrupt = 0;
+    std::size_t store_truncated = 0;
+    std::size_t store_version_mismatch = 0;
 };
 
 /**

@@ -50,12 +50,18 @@ registerProsperityAccelerator(AcceleratorRegistry& registry)
         "prosperity",
         "the paper's ProSparsity accelerator (Table III config); "
         "params: sparsity=product|bit, dispatch=overhead-free|traversal, "
-        "issue_width, num_ppus, max_sampled_tiles",
+        "issue_width, num_ppus, max_sampled_tiles, tile_m, tile_k",
         [](const AcceleratorParams& params) {
             params.expectOnly({"sparsity", "dispatch", "issue_width",
-                               "num_ppus", "max_sampled_tiles"});
+                               "num_ppus", "max_sampled_tiles", "tile_m",
+                               "tile_k"});
             ProsperityConfig config;
             config.num_ppus = params.getSize("num_ppus", config.num_ppus);
+            config.tile.m = params.getSize("tile_m", config.tile.m);
+            config.tile.k = params.getSize("tile_k", config.tile.k);
+            if (config.tile.m == 0 || config.tile.k == 0)
+                throw std::invalid_argument(
+                    "prosperity: tile_m and tile_k must be at least 1");
 
             Ppu::Options options;
             const std::string sparsity =

@@ -39,6 +39,20 @@ hex64(std::uint64_t v)
     return out;
 }
 
+/**
+ * Structural truncation check: every complete entry is written as a
+ * pretty-printed object ending in '}' + newline, so raw text that is
+ * empty or stops before the closing brace was cut short. Classifying
+ * on the text instead of the parser's message keeps the split stable
+ * across parser wording changes.
+ */
+bool
+looksTruncated(const std::string& raw)
+{
+    const std::size_t end = raw.find_last_not_of(" \t\r\n");
+    return end == std::string::npos || raw[end] != '}';
+}
+
 } // namespace
 
 // Collisions are guarded against anyway — the entry stores the full
@@ -102,6 +116,7 @@ ResultStore::fetch(const std::string& key, RunResult* out)
         if (version != static_cast<std::size_t>(kSchemaVersion)) {
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.misses;
+            ++stats_.version_mismatch;
             return false; // older/newer format: recompute
         }
         if (json::requireString(entry, "key", context) != key) {
@@ -115,9 +130,14 @@ ResultStore::fetch(const std::string& key, RunResult* out)
                               "missing required key \"result\"");
         *out = runResultFromJson(*result);
     } catch (const std::exception&) {
+        const bool truncated = looksTruncated(text.str());
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.misses;
-        ++stats_.corrupt_skipped;
+        ++stats_.corrupt_skipped; // invariant: corrupt + truncated
+        if (truncated)
+            ++stats_.truncated;
+        else
+            ++stats_.corrupt;
         return false;
     }
     std::lock_guard<std::mutex> lock(mutex_);
@@ -188,6 +208,17 @@ ResultStore::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+}
+
+ResultCacheHealth
+ResultStore::health() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ResultCacheHealth health;
+    health.corrupt = stats_.corrupt;
+    health.truncated = stats_.truncated;
+    health.version_mismatch = stats_.version_mismatch;
+    return health;
 }
 
 } // namespace prosperity::serve

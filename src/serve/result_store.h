@@ -52,7 +52,19 @@ struct ResultStoreStats
     std::size_t hits = 0;    ///< fetch() found a valid entry
     std::size_t misses = 0;  ///< fetch() found nothing usable
     std::size_t writes = 0;  ///< publish() calls that landed on disk
-    std::size_t corrupt_skipped = 0; ///< unreadable entries tolerated
+    /** Unreadable entries tolerated — always corrupt + truncated, kept
+     *  for consumers of the pre-classification schema. */
+    std::size_t corrupt_skipped = 0;
+    /** Entries whose text was cut short (crash mid-write without the
+     *  atomic rename, manual truncation): the raw file does not end in
+     *  the closing brace every complete entry is written with. */
+    std::size_t truncated = 0;
+    /** Entries that are complete but wrong: garbage bytes, JSON of the
+     *  wrong shape, out-of-range values. */
+    std::size_t corrupt = 0;
+    /** Complete, valid entries written under another kSchemaVersion
+     *  (not a defect — counted separately, outside corrupt_skipped). */
+    std::size_t version_mismatch = 0;
 };
 
 class ResultStore : public ResultCache
@@ -72,6 +84,10 @@ class ResultStore : public ResultCache
 
     bool fetch(const std::string& key, RunResult* out) override;
     void publish(const std::string& key, const RunResult& result) override;
+
+    /** Defect counters for SimulationEngine::stats(): the corrupt /
+     *  truncated / version_mismatch split of ResultStoreStats. */
+    ResultCacheHealth health() const override;
 
     /** Entries currently on disk (temp files excluded). */
     std::size_t entriesOnDisk() const;

@@ -13,8 +13,9 @@ namespace prosperity::serve {
 namespace {
 
 /** Ready without blocking? (status poll primitive) */
+template <typename T>
 bool
-isReady(const std::shared_future<RunResult>& future)
+isReady(const std::shared_future<T>& future)
 {
     return future.wait_for(std::chrono::seconds(0)) ==
            std::future_status::ready;
@@ -116,6 +117,25 @@ SimulationService::RecordStatus
 SimulationService::statusOf(const JobRecord& record)
 {
     RecordStatus status;
+    if (record.adaptive()) {
+        // Cells all finish together (the runner returns when the last
+        // stopping rule fires), so completion is all-or-nothing; the
+        // live signal meanwhile is seeds_drawn.
+        status.total = record.expansion.jobs.size();
+        if (record.adaptive_seeds)
+            status.seeds_drawn = record.adaptive_seeds->load(
+                std::memory_order_relaxed);
+        if (isReady(record.adaptive_report)) {
+            try {
+                (void)record.adaptive_report.get();
+                status.completed = status.total;
+            } catch (const std::exception& e) {
+                status.error = e.what();
+                status.failed = true;
+            }
+        }
+        return status;
+    }
     status.total = record.futures.size();
     for (const std::shared_future<RunResult>& future : record.futures) {
         if (!isReady(future))
@@ -142,6 +162,8 @@ SimulationService::statusJson(const JobRecord& record,
     root.set("status", status.name());
     root.set("jobs", status.total);
     root.set("completed", status.completed);
+    if (record.adaptive())
+        root.set("seeds_drawn", status.seeds_drawn);
     if (status.failed)
         root.set("error", status.error);
     root.set("poll", "/v1/jobs/" + record.id);
@@ -153,11 +175,20 @@ std::size_t
 SimulationService::pendingLocked() const
 {
     std::size_t pending = 0;
-    for (const auto& [id, record] : records_)
+    for (const auto& [id, record] : records_) {
+        // An unfinished adaptive campaign's true job count is decided
+        // by its stopping rule; count its cells (the floor) so
+        // admission stays bounded without double-charging convergence.
+        if (record.adaptive()) {
+            if (!isReady(record.adaptive_report))
+                pending += record.expansion.jobs.size();
+            continue;
+        }
         for (const std::shared_future<RunResult>& future :
              record.futures)
             if (!isReady(future))
                 ++pending;
+    }
     return pending;
 }
 
@@ -242,9 +273,28 @@ SimulationService::submitCampaign(const HttpRequest& request)
     record.id = id;
     record.kind = "campaign";
     record.spec = std::move(spec);
-    record.futures.reserve(expansion.jobs.size());
-    for (const SimulationJob& job : expansion.jobs)
-        record.futures.push_back(engine_.submit(job).share());
+    if (record.spec.sampling) {
+        record.adaptive_seeds =
+            std::make_shared<std::atomic<std::size_t>>(0);
+        record.adaptive_report =
+            std::async(std::launch::async,
+                       [this, spec_copy = record.spec,
+                        seeds = record.adaptive_seeds]() {
+                           CampaignRunner runner(engine_);
+                           return runner.run(
+                               spec_copy,
+                               [&seeds](const CampaignProgress& p) {
+                                   seeds->store(
+                                       p.completed,
+                                       std::memory_order_relaxed);
+                               });
+                       })
+                .share();
+    } else {
+        record.futures.reserve(expansion.jobs.size());
+        for (const SimulationJob& job : expansion.jobs)
+            record.futures.push_back(engine_.submit(job).share());
+    }
     record.expansion = std::move(expansion);
     ++campaigns_submitted_;
     const auto [inserted, ok] = records_.emplace(id, std::move(record));
@@ -290,12 +340,32 @@ SimulationService::report(const std::string& id,
     if (status.failed)
         return HttpResponse::error(500, record.kind + ' ' + id +
                                             " failed: " + status.error);
-    if (!status.done())
+    if (!status.done()) {
+        if (record.adaptive())
+            return HttpResponse::error(
+                409, record.kind + ' ' + id +
+                         " is still sampling adaptively (" +
+                         std::to_string(status.seeds_drawn) +
+                         " seeds drawn so far); poll /v1/jobs/" + id);
         return HttpResponse::error(
             409, record.kind + ' ' + id + " is still running (" +
                      std::to_string(status.completed) + '/' +
                      std::to_string(status.total) +
                      " jobs finished); poll /v1/jobs/" + id);
+    }
+
+    if (record.adaptive()) {
+        const CampaignReport& campaign_report =
+            record.adaptive_report.get();
+        if (format == "csv") {
+            std::ostringstream os;
+            campaign_report.writeCsv(os);
+            return HttpResponse::text(200, os.str(), "text/csv");
+        }
+        // Same assembly path as the CLI: adaptive reports served over
+        // HTTP are byte-identical to the offline report file.
+        return HttpResponse::json(200, campaign_report.toJson());
+    }
 
     if (record.kind == "run") {
         const RunResult& result = record.futures.front().get();
@@ -357,6 +427,10 @@ SimulationService::statsDocument() const
     engine.set("hits", engine_stats.hits);
     engine.set("misses", engine_stats.misses);
     engine.set("in_flight_dedups", engine_stats.in_flight_dedups);
+    engine.set("store_corrupt", engine_stats.store_corrupt);
+    engine.set("store_truncated", engine_stats.store_truncated);
+    engine.set("store_version_mismatch",
+               engine_stats.store_version_mismatch);
 
     json::Value store = json::Value::object();
     store.set("enabled", static_cast<bool>(store_));
@@ -367,6 +441,9 @@ SimulationService::statsDocument() const
         store.set("misses", store_stats.misses);
         store.set("writes", store_stats.writes);
         store.set("corrupt_skipped", store_stats.corrupt_skipped);
+        store.set("corrupt", store_stats.corrupt);
+        store.set("truncated", store_stats.truncated);
+        store.set("version_mismatch", store_stats.version_mismatch);
         store.set("entries_on_disk", store_->entriesOnDisk());
     }
 

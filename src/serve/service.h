@@ -37,6 +37,7 @@
 #ifndef PROSPERITY_SERVE_SERVICE_H
 #define PROSPERITY_SERVE_SERVICE_H
 
+#include <atomic>
 #include <cstddef>
 #include <future>
 #include <map>
@@ -87,7 +88,18 @@ class SimulationService
     static std::string campaignId(const CampaignSpec& spec);
 
   private:
-    /** One submitted run or campaign and its in-flight futures. */
+    /**
+     * One submitted run or campaign and its in-flight futures.
+     * Adaptive campaigns (spec.sampling set) have no per-job futures —
+     * the stopping rule decides the job count — so a worker launched
+     * with std::async runs the whole campaign through CampaignRunner
+     * (the exact CLI code path, keeping reports byte-identical) and
+     * `adaptive_report` carries the outcome; `adaptive_seeds` streams
+     * seeds-drawn progress to status polls. Destroying the last copy
+     * of an async shared_future joins the worker, so the service
+     * destructor (which destroys records_ before engine_) never leaves
+     * an adaptive campaign running against a dead engine.
+     */
     struct JobRecord
     {
         std::string id;
@@ -96,6 +108,10 @@ class SimulationService
         CampaignSpec spec;                            ///< campaigns
         CampaignSpec::CampaignExpansion expansion;    ///< campaigns
         std::vector<std::shared_future<RunResult>> futures;
+        std::shared_future<CampaignReport> adaptive_report;
+        std::shared_ptr<std::atomic<std::size_t>> adaptive_seeds;
+
+        bool adaptive() const { return adaptive_report.valid(); }
     };
 
     /** Poll snapshot of a record (no blocking). */
@@ -103,6 +119,7 @@ class SimulationService
     {
         std::size_t total = 0;
         std::size_t completed = 0;
+        std::size_t seeds_drawn = 0; ///< adaptive campaigns only
         bool failed = false;
         std::string error;
 

@@ -1,0 +1,45 @@
+#include "accumulator.h"
+
+#include <cmath>
+
+namespace prosperity::stats {
+
+void
+StreamingAccumulator::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+double
+StreamingAccumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+StreamingAccumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+StreamingAccumulator::range() const
+{
+    return count_ == 0 ? 0.0 : max_ - min_;
+}
+
+} // namespace prosperity::stats

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Streaming moment accumulator: mean / variance / min / max over a
+ * sequence of observations without storing them.
+ *
+ * Uses Welford's online update, so the running mean and variance are
+ * numerically stable over long seed sequences. The accumulated state
+ * is a pure function of the observation *sequence* (values and their
+ * order), which is what makes adaptive campaigns reproducible: seeds
+ * are always appended in substream order, so every accumulator — and
+ * every stopping decision derived from it — is bitwise identical
+ * whatever the engine's thread count.
+ */
+
+#ifndef PROSPERITY_STATS_ACCUMULATOR_H
+#define PROSPERITY_STATS_ACCUMULATOR_H
+
+#include <cstddef>
+
+namespace prosperity::stats {
+
+class StreamingAccumulator
+{
+  public:
+    /** Fold one observation into the running moments. */
+    void add(double value);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** sqrt(variance()). */
+    double stddev() const;
+
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Observed support width, max() - min() (0 when empty). */
+    double range() const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0; ///< sum of squared deviations (Welford)
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace prosperity::stats
+
+#endif // PROSPERITY_STATS_ACCUMULATOR_H

@@ -1,0 +1,28 @@
+#include "hoeffding.h"
+
+#include <cmath>
+#include <limits>
+
+namespace prosperity::stats {
+
+double
+unionBoundAlpha(double alpha, std::size_t comparisons)
+{
+    if (comparisons < 1)
+        comparisons = 1;
+    return alpha / static_cast<double>(comparisons);
+}
+
+double
+hoeffdingHalfWidth(double range, std::size_t n, double alpha)
+{
+    if (n == 0)
+        return std::numeric_limits<double>::infinity();
+    if (range == 0.0)
+        return 0.0;
+    return range *
+           std::sqrt(std::log(2.0 / alpha) /
+                     (2.0 * static_cast<double>(n)));
+}
+
+} // namespace prosperity::stats

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Hoeffding-style confidence intervals for adaptive Monte Carlo
+ * campaigns.
+ *
+ * For n i.i.d. observations supported on an interval of width R,
+ * Hoeffding's inequality bounds the deviation of the sample mean from
+ * the true mean: with probability at least 1 - alpha,
+ *
+ *     |mean_n - mu| <= R * sqrt(ln(2 / alpha) / (2 n)).
+ *
+ * The campaign engine applies this per (cell, metric) with a union
+ * bound: to make *every* interval in a campaign hold simultaneously at
+ * confidence 1 - alpha, each individual comparison runs at
+ * alpha / comparisons (Bonferroni). The support width R is taken from
+ * the observed min/max of the metric — simulation metrics (cycles,
+ * energy) have no useful a-priori bounds — so the intervals are
+ * empirical-range Hoeffding intervals: exact under a known range,
+ * a practical and conservative-in-n proxy otherwise (documented in
+ * docs/CAMPAIGNS.md).
+ */
+
+#ifndef PROSPERITY_STATS_HOEFFDING_H
+#define PROSPERITY_STATS_HOEFFDING_H
+
+#include <cstddef>
+
+namespace prosperity::stats {
+
+/**
+ * Per-comparison significance after a Bonferroni union bound over
+ * `comparisons` simultaneous intervals. `comparisons` is clamped to at
+ * least 1.
+ */
+double unionBoundAlpha(double alpha, std::size_t comparisons);
+
+/**
+ * Half-width of the two-sided Hoeffding interval for a sample mean of
+ * `n` observations on a support of width `range` at significance
+ * `alpha`. Returns 0 when the range is 0 (a deterministic metric is
+ * known exactly) and +inf when n == 0.
+ */
+double hoeffdingHalfWidth(double range, std::size_t n, double alpha);
+
+} // namespace prosperity::stats
+
+#endif // PROSPERITY_STATS_HOEFFDING_H

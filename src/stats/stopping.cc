@@ -1,0 +1,140 @@
+#include "stopping.h"
+
+#include <cmath>
+
+#include "stats/hoeffding.h"
+
+namespace prosperity::stats {
+
+json::Value
+MetricStats::toJson() const
+{
+    json::Value out = json::Value::object();
+    out.set("metric", metric);
+    out.set("n", n);
+    out.set("mean", mean);
+    out.set("stddev", stddev);
+    out.set("min", min);
+    out.set("max", max);
+    out.set("half_width", half_width);
+    out.set("converged", converged);
+    return out;
+}
+
+json::Value
+CheckpointPoint::toJson() const
+{
+    json::Value out = json::Value::object();
+    out.set("n", n);
+    json::Value entries = json::Value::array();
+    for (const MetricStats& m : metrics)
+        entries.push(m.toJson());
+    out.set("metrics", std::move(entries));
+    return out;
+}
+
+json::Value
+CellSampling::toJson() const
+{
+    json::Value out = json::Value::object();
+    out.set("n_seeds", n_seeds);
+    out.set("converged", converged);
+    json::Value metric_entries = json::Value::array();
+    for (const MetricStats& m : metrics)
+        metric_entries.push(m.toJson());
+    out.set("metrics", std::move(metric_entries));
+    json::Value checkpoint_entries = json::Value::array();
+    for (const CheckpointPoint& point : checkpoints)
+        checkpoint_entries.push(point.toJson());
+    out.set("checkpoints", std::move(checkpoint_entries));
+    return out;
+}
+
+StoppingRule::StoppingRule(SamplingPlan plan, std::size_t comparisons)
+    : plan_(std::move(plan)),
+      per_comparison_alpha_(unionBoundAlpha(plan_.alpha, comparisons))
+{
+}
+
+MetricStats
+StoppingRule::evaluate(const std::string& metric,
+                       const StreamingAccumulator& acc) const
+{
+    MetricStats out;
+    out.metric = metric;
+    out.n = acc.count();
+    out.mean = acc.mean();
+    out.stddev = acc.stddev();
+    out.min = acc.min();
+    out.max = acc.max();
+    out.half_width = hoeffdingHalfWidth(acc.range(), acc.count(),
+                                        per_comparison_alpha_);
+    const double target = plan_.relative
+                              ? plan_.eps * std::fabs(out.mean)
+                              : plan_.eps;
+    out.converged = out.half_width <= target;
+    return out;
+}
+
+CellTracker::CellTracker(const StoppingRule& rule)
+    : rule_(rule), accumulators_(rule.plan().metrics.size())
+{
+}
+
+void
+CellTracker::append(const RunResult& result)
+{
+    const SamplingPlan& plan = rule_.plan();
+    for (std::size_t i = 0; i < plan.metrics.size(); ++i)
+        accumulators_[i].add(metricValue(result, plan.metrics[i]));
+    const std::size_t n = seedsDrawn();
+    if (plan.checkpoints.contains(n)) {
+        CheckpointPoint point;
+        point.n = n;
+        for (std::size_t i = 0; i < plan.metrics.size(); ++i)
+            point.metrics.push_back(
+                rule_.evaluate(plan.metrics[i], accumulators_[i]));
+        checkpoints_.push_back(std::move(point));
+    }
+}
+
+std::size_t
+CellTracker::seedsDrawn() const
+{
+    return accumulators_.empty() ? 0 : accumulators_.front().count();
+}
+
+bool
+CellTracker::converged() const
+{
+    const SamplingPlan& plan = rule_.plan();
+    for (std::size_t i = 0; i < plan.metrics.size(); ++i)
+        if (!rule_.evaluate(plan.metrics[i], accumulators_[i]).converged)
+            return false;
+    return true;
+}
+
+bool
+CellTracker::done() const
+{
+    const std::size_t n = seedsDrawn();
+    if (n >= rule_.plan().max_seeds)
+        return true;
+    return n >= rule_.plan().min_seeds && converged();
+}
+
+CellSampling
+CellTracker::summary() const
+{
+    const SamplingPlan& plan = rule_.plan();
+    CellSampling out;
+    out.n_seeds = seedsDrawn();
+    out.converged = converged();
+    for (std::size_t i = 0; i < plan.metrics.size(); ++i)
+        out.metrics.push_back(
+            rule_.evaluate(plan.metrics[i], accumulators_[i]));
+    out.checkpoints = checkpoints_;
+    return out;
+}
+
+} // namespace prosperity::stats

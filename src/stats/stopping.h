@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The run-until-confident stopping layer: per-metric interval
+ * evaluation (StoppingRule), per-cell sampling state (CellTracker),
+ * and the report-facing summary types (MetricStats, CheckpointPoint,
+ * CellSampling).
+ *
+ * A Monte Carlo cell keeps drawing seeds until every watched metric's
+ * Hoeffding confidence half-width is at or below the plan's eps — or
+ * the hard seed cap is hit, in which case the cell is reported
+ * unconverged rather than silently accepted. Confidence is
+ * union-bounded (Bonferroni) across every (cell, metric) pair of the
+ * campaign, so the report's "all intervals hold at 1 - alpha" claim is
+ * campaign-wide, not per-interval.
+ *
+ * Everything here is deterministic given the append order of seed
+ * results; the adaptive runner appends in (cell, seed-index) order
+ * whatever the engine's thread count.
+ */
+
+#ifndef PROSPERITY_STATS_STOPPING_H
+#define PROSPERITY_STATS_STOPPING_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/accumulator.h"
+#include "stats/sampling_plan.h"
+#include "util/json.h"
+
+namespace prosperity::stats {
+
+/** One metric's interval at a given sample count. */
+struct MetricStats
+{
+    std::string metric;
+    std::size_t n = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /** Hoeffding half-width at the union-bounded alpha. */
+    double half_width = 0.0;
+    /** half_width <= eps * |mean| (relative) or <= eps (absolute). */
+    bool converged = false;
+
+    json::Value toJson() const;
+};
+
+/** Convergence-curve sample: every metric's interval at n seeds. */
+struct CheckpointPoint
+{
+    std::size_t n = 0;
+    std::vector<MetricStats> metrics;
+
+    json::Value toJson() const;
+};
+
+/** Final per-cell sampling outcome, attached to the campaign report. */
+struct CellSampling
+{
+    std::size_t n_seeds = 0;
+    /** Every watched metric converged before the seed cap. */
+    bool converged = false;
+    std::vector<MetricStats> metrics;
+    std::vector<CheckpointPoint> checkpoints;
+
+    json::Value toJson() const;
+};
+
+/**
+ * Evaluates one metric accumulator against the plan's precision
+ * target at the union-bounded confidence level. `comparisons` is the
+ * number of simultaneous intervals in the whole campaign
+ * (unique cells x watched metrics).
+ */
+class StoppingRule
+{
+  public:
+    StoppingRule(SamplingPlan plan, std::size_t comparisons);
+
+    const SamplingPlan& plan() const { return plan_; }
+
+    /** alpha / comparisons — the per-interval error budget. */
+    double perComparisonAlpha() const { return per_comparison_alpha_; }
+
+    MetricStats evaluate(const std::string& metric,
+                         const StreamingAccumulator& acc) const;
+
+  private:
+    SamplingPlan plan_;
+    double per_comparison_alpha_;
+};
+
+/**
+ * Sampling state of one Monte Carlo cell: a StreamingAccumulator per
+ * watched metric, fed seed results in order via append(). Checkpoint
+ * snapshots are taken *during* the ordered appends, so every curve
+ * point is exact at its scheduled n even if the cell later overshoots
+ * (seeds submitted in batches are all appended).
+ */
+class CellTracker
+{
+  public:
+    explicit CellTracker(const StoppingRule& rule);
+
+    /** Fold in the next seed's result (call in seed-index order). */
+    void append(const RunResult& result);
+
+    std::size_t seedsDrawn() const;
+
+    /** Every watched metric's interval is within eps right now. */
+    bool converged() const;
+
+    /** Stop drawing: converged with >= min_seeds, or at the cap. */
+    bool done() const;
+
+    /** Snapshot for the report (metrics at the current n, plus the
+     *  checkpoint curve recorded so far). */
+    CellSampling summary() const;
+
+  private:
+    const StoppingRule& rule_;
+    std::vector<StreamingAccumulator> accumulators_; ///< per metric
+    std::vector<CheckpointPoint> checkpoints_;
+};
+
+} // namespace prosperity::stats
+
+#endif // PROSPERITY_STATS_STOPPING_H

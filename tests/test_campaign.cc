@@ -17,6 +17,7 @@
 #include <stdexcept>
 
 #include "analysis/campaign.h"
+#include "stats/adaptive_runner.h"
 
 namespace prosperity {
 namespace {
@@ -496,6 +497,151 @@ TEST(CampaignReport, JsonAndCsvSerialization)
     EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
     EXPECT_NE(text.find("accelerator,workload,model,dataset,seed"),
               std::string::npos);
+}
+
+/** An adaptive single-cell spec with real seed-to-seed variance (the
+ *  sampled density analysis depends on the seed). */
+CampaignSpec
+adaptiveSpec(std::size_t min_seeds, std::size_t max_seeds)
+{
+    CampaignSpec spec;
+    spec.name = "adaptive-unit";
+    spec.accelerators.push_back(
+        {"prosperity",
+         AcceleratorSpec{"prosperity",
+                         AcceleratorParams{{"max_sampled_tiles", "8"}}}});
+    spec.workloads.push_back(makeWorkload("LeNet5", "MNIST"));
+    stats::SamplingPlan plan;
+    plan.eps = 1e-9; // never converges: the cap decides the count
+    plan.min_seeds = min_seeds;
+    plan.max_seeds = max_seeds;
+    plan.metrics = {"cycles", "energy_pj"};
+    plan.checkpoints.start = 2;
+    spec.sampling = plan;
+    return spec;
+}
+
+TEST(CampaignRunner, AppendingSeedsNeverPerturbsEarlierSeeds)
+{
+    // Substream independence, pinned bitwise: widening a cell's seed
+    // budget re-derives the *same* per-seed jobs, so every result from
+    // the narrow run reappears untouched in the wide run. The engine's
+    // per-seed results are observable through the substream derivation
+    // directly...
+    const CampaignSpec narrow = adaptiveSpec(4, 4);
+    const SimulationJob base = narrow.expandJobs().front();
+    const std::string key = SimulationEngine::jobKey(base);
+
+    SimulationEngine engine;
+    std::vector<double> narrow_cycles;
+    for (std::size_t i = 0; i < 4; ++i) {
+        SimulationJob job = base;
+        job.options.seed =
+            stats::deriveSubstreamSeed(key, base.options.seed, i);
+        narrow_cycles.push_back(engine.run(job).cycles);
+    }
+    // ...and seed index 0 is the base seed itself: the adaptive run's
+    // first draw is bitwise the fixed-seed run.
+    EXPECT_EQ(stats::deriveSubstreamSeed(key, base.options.seed, 0),
+              base.options.seed);
+
+    // ...and through the checkpoint curve: the wide run's n=4
+    // checkpoint must equal the narrow run's final interval bitwise,
+    // because seeds 0..3 are identical in both.
+    CampaignRunner runner(engine);
+    const CampaignReport narrow_report = runner.run(narrow);
+    const CampaignReport wide_report = runner.run(adaptiveSpec(4, 8));
+    ASSERT_TRUE(narrow_report.cells.front().sampling.has_value());
+    ASSERT_TRUE(wide_report.cells.front().sampling.has_value());
+    const stats::CellSampling& narrow_cell =
+        *narrow_report.cells.front().sampling;
+    const stats::CellSampling& wide_cell =
+        *wide_report.cells.front().sampling;
+    EXPECT_EQ(narrow_cell.n_seeds, 4u);
+    EXPECT_EQ(wide_cell.n_seeds, 8u);
+
+    const stats::CheckpointPoint* at4 = nullptr;
+    for (const stats::CheckpointPoint& point : wide_cell.checkpoints)
+        if (point.n == 4)
+            at4 = &point;
+    ASSERT_NE(at4, nullptr);
+    ASSERT_EQ(at4->metrics.size(), narrow_cell.metrics.size());
+    for (std::size_t m = 0; m < at4->metrics.size(); ++m) {
+        const stats::MetricStats& wide = at4->metrics[m];
+        const stats::MetricStats& nar = narrow_cell.metrics[m];
+        EXPECT_EQ(wide.metric, nar.metric);
+        EXPECT_EQ(wide.mean, nar.mean);
+        EXPECT_EQ(wide.stddev, nar.stddev);
+        EXPECT_EQ(wide.min, nar.min);
+        EXPECT_EQ(wide.max, nar.max);
+    }
+    // The narrow run's mean is exactly the mean of the four per-seed
+    // results observed above (same Welford fold, same order).
+    const stats::MetricStats& cycles_stats = narrow_cell.metrics.front();
+    ASSERT_EQ(cycles_stats.metric, "cycles");
+    EXPECT_EQ(cycles_stats.min,
+              *std::min_element(narrow_cycles.begin(),
+                                narrow_cycles.end()));
+    EXPECT_EQ(cycles_stats.max,
+              *std::max_element(narrow_cycles.begin(),
+                                narrow_cycles.end()));
+    // Real variance: the test would be vacuous if every seed agreed.
+    EXPECT_NE(cycles_stats.min, cycles_stats.max);
+}
+
+TEST(CampaignRunner, AdaptiveReportIsIdenticalAcrossThreadCounts)
+{
+    CampaignSpec spec = adaptiveSpec(2, 6);
+    spec.sampling->eps = 0.05; // let the stopping rule decide
+    std::string dumps[2];
+    const std::size_t threads[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        EngineOptions options;
+        options.threads = threads[i];
+        SimulationEngine engine(options);
+        CampaignRunner runner(engine);
+        dumps[i] = runner.run(spec).toJson().dump(2);
+    }
+    EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(CampaignRunner, UnconvergedCellsAreFlaggedAtTheCap)
+{
+    const CampaignSpec spec = adaptiveSpec(2, 3); // eps 1e-9: hopeless
+    SimulationEngine engine;
+    CampaignRunner runner(engine);
+    const CampaignReport report = runner.run(spec);
+    ASSERT_TRUE(report.cells.front().sampling.has_value());
+    const stats::CellSampling& cell = *report.cells.front().sampling;
+    EXPECT_EQ(cell.n_seeds, 3u);
+    EXPECT_FALSE(cell.converged);
+    for (const stats::MetricStats& metric : cell.metrics)
+        EXPECT_FALSE(metric.converged);
+}
+
+TEST(CampaignReport, AdaptiveJsonAndCsvCarrySamplingColumns)
+{
+    CampaignSpec spec = adaptiveSpec(2, 2);
+    SimulationEngine engine;
+    CampaignRunner runner(engine);
+    const CampaignReport report = runner.run(spec);
+
+    const json::Value doc = report.toJson();
+    // The embedded spec round-trips with its sampling block.
+    EXPECT_TRUE(CampaignSpec::fromJson(doc.at("spec")) == report.spec);
+    const json::Value& cell = doc.at("cells").asArray().front();
+    const json::Value& sampling = cell.at("sampling");
+    EXPECT_EQ(sampling.at("n_seeds").asNumber(), 2.0);
+    EXPECT_GE(sampling.at("metrics").asArray().size(), 2u);
+    EXPECT_GE(sampling.at("checkpoints").asArray().size(), 1u);
+
+    std::ostringstream csv;
+    report.writeCsv(csv);
+    const std::string text = csv.str();
+    EXPECT_NE(text.find("n_seeds"), std::string::npos);
+    EXPECT_NE(text.find("cycles_mean"), std::string::npos);
+    EXPECT_NE(text.find("cycles_ci_half_width"), std::string::npos);
+    EXPECT_NE(text.find("energy_pj_mean"), std::string::npos);
 }
 
 } // namespace

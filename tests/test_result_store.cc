@@ -119,6 +119,11 @@ TEST_F(ResultStoreTest, CorruptEntryIsSkippedNotFatal)
     RunResult out;
     EXPECT_FALSE(store.fetch(key, &out));
     EXPECT_EQ(store.stats().corrupt_skipped, 1u);
+    // The classification is structural: this garbage does not end in
+    // '}' so it counts as cut-short rather than corrupt-in-place.
+    EXPECT_EQ(store.stats().truncated, 1u);
+    EXPECT_EQ(store.stats().corrupt, 0u);
+    EXPECT_EQ(store.stats().version_mismatch, 0u);
 
     // The next publish overwrites the bad entry and heals the store.
     SimulationEngine engine;
@@ -150,6 +155,31 @@ TEST_F(ResultStoreTest, TruncatedEntryIsSkippedNotFatal)
     RunResult out;
     EXPECT_FALSE(store.fetch(key, &out));
     EXPECT_EQ(store.stats().corrupt_skipped, 1u);
+    EXPECT_EQ(store.stats().truncated, 1u);
+    EXPECT_EQ(store.stats().corrupt, 0u);
+}
+
+TEST_F(ResultStoreTest, StructurallyCompleteGarbageCountsAsCorrupt)
+{
+    ResultStore store(dir_);
+    const std::string key = "some|job|key";
+    {
+        // Parses as JSON and ends in '}', but is no store entry: this
+        // is corruption-in-place, not a write cut short.
+        std::ofstream os(store.pathFor(key));
+        os << "{\"note\": \"not a result entry\"}\n";
+    }
+    RunResult out;
+    EXPECT_FALSE(store.fetch(key, &out));
+    EXPECT_EQ(store.stats().corrupt_skipped, 1u);
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_EQ(store.stats().truncated, 0u);
+    EXPECT_EQ(store.stats().version_mismatch, 0u);
+
+    const ResultCacheHealth health = store.health();
+    EXPECT_EQ(health.corrupt, 1u);
+    EXPECT_EQ(health.truncated, 0u);
+    EXPECT_EQ(health.version_mismatch, 0u);
 }
 
 TEST_F(ResultStoreTest, SchemaVersionMismatchTriggersRecompute)
@@ -175,8 +205,29 @@ TEST_F(ResultStoreTest, SchemaVersionMismatchTriggersRecompute)
 
     RunResult out;
     EXPECT_FALSE(store.fetch(key, &out));
-    // A version mismatch is a clean miss, not corruption.
+    // A version mismatch is a clean miss, not corruption — it gets
+    // its own counter.
     EXPECT_EQ(store.stats().corrupt_skipped, 0u);
+    EXPECT_EQ(store.stats().version_mismatch, 1u);
+    EXPECT_EQ(store.health().version_mismatch, 1u);
+}
+
+TEST_F(ResultStoreTest, EngineStatsSurfaceStoreDefects)
+{
+    auto store = std::make_shared<ResultStore>(dir_);
+    const std::string key = SimulationEngine::jobKey(smokeJob());
+    {
+        std::ofstream os(store->pathFor(key));
+        os << "{\"cut\": "; // no closing brace: truncated
+    }
+    SimulationEngine engine;
+    engine.setResultCache(store);
+    (void)engine.run(smokeJob());
+
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.store_truncated, 1u);
+    EXPECT_EQ(stats.store_corrupt, 0u);
+    EXPECT_EQ(stats.store_version_mismatch, 0u);
 }
 
 TEST_F(ResultStoreTest, StoredKeyMismatchIsAMiss)

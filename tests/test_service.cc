@@ -189,6 +189,67 @@ TEST_F(ServiceTest, CampaignReportIsByteIdenticalToOfflineRunner)
     EXPECT_EQ(csv.body, expected_csv.str());
 }
 
+TEST_F(ServiceTest, AdaptiveCampaignMatchesOfflineRunnerBytewise)
+{
+    startService();
+    HttpClient http = client();
+    std::ifstream is(defaultCampaignDir() + "/adaptive_smoke.json");
+    std::ostringstream text;
+    text << is.rdbuf();
+    const std::string spec_text = text.str();
+
+    const HttpResponse submitted =
+        http.post("/v1/campaigns", spec_text);
+    ASSERT_TRUE(submitted.status == 202 || submitted.status == 200)
+        << submitted.body;
+    const std::string id =
+        json::Value::parse(submitted.body).at("id").asString();
+
+    // A report fetched while the stopping rule is still sampling is a
+    // 409 that says so (the seed total is not knowable up front).
+    const HttpResponse early = http.get("/v1/reports/" + id);
+    if (early.status != 200) {
+        EXPECT_EQ(early.status, 409) << early.body;
+        EXPECT_NE(early.body.find("sampling"), std::string::npos)
+            << early.body;
+    }
+
+    std::string final_status;
+    for (int i = 0; i < 600; ++i) {
+        const HttpResponse polled = http.get("/v1/jobs/" + id);
+        ASSERT_EQ(polled.status, 200) << polled.body;
+        const json::Value body = json::Value::parse(polled.body);
+        // Adaptive status polls stream the seed count.
+        EXPECT_TRUE(body.find("seeds_drawn") != nullptr)
+            << polled.body;
+        final_status = body.at("status").asString();
+        if (final_status == "done")
+            break;
+        ASSERT_NE(final_status, "failed") << polled.body;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ASSERT_EQ(final_status, "done");
+
+    const HttpResponse report = http.get("/v1/reports/" + id);
+    ASSERT_EQ(report.status, 200) << report.body;
+
+    SimulationEngine engine;
+    CampaignRunner runner(engine);
+    const CampaignReport offline =
+        runner.run(CampaignSpec::fromJson(json::Value::parse(spec_text)));
+    EXPECT_EQ(report.body, offline.toJson().dump(2) + "\n");
+
+    // The served document carries the per-cell sampling outcomes.
+    const json::Value doc = json::Value::parse(report.body);
+    const json::Value& first = doc.at("cells").asArray().front();
+    EXPECT_GE(first.at("sampling").at("n_seeds").asNumber(), 4.0);
+
+    // Idempotent resubmission: same spec, same record.
+    const HttpResponse again = http.post("/v1/campaigns", spec_text);
+    EXPECT_EQ(again.status, 200) << again.body;
+    EXPECT_EQ(json::Value::parse(again.body).at("id").asString(), id);
+}
+
 TEST_F(ServiceTest, ConcurrentDuplicateSubmitsRunOneSimulation)
 {
     startService();
@@ -287,6 +348,58 @@ TEST_F(ServiceTest, StatsDocumentTracksTheTraffic)
     EXPECT_EQ(body.at("service").at("runs_submitted").asNumber(), 1.0);
     EXPECT_EQ(body.at("service").at("pending").asNumber(), 0.0);
     EXPECT_FALSE(body.at("store").at("enabled").asBool());
+    // The store-defect counters are always present (zero without a
+    // store) so dashboards can scrape a fixed schema.
+    EXPECT_EQ(body.at("engine").at("store_corrupt").asNumber(), 0.0);
+    EXPECT_EQ(body.at("engine").at("store_truncated").asNumber(), 0.0);
+    EXPECT_EQ(
+        body.at("engine").at("store_version_mismatch").asNumber(),
+        0.0);
+}
+
+TEST_F(ServiceTest, StatsDocumentClassifiesStoreDefects)
+{
+    ServiceOptions options;
+    options.store_dir = storeDir();
+    startService(options);
+    HttpClient http = client();
+
+    // Plant one defect of each class where the smoke campaign's jobs
+    // will look.
+    const CampaignSpec spec =
+        CampaignSpec::fromJson(json::Value::parse(smokeSpecText()));
+    const std::vector<SimulationJob> jobs = spec.expandJobs();
+    ASSERT_GE(jobs.size(), 3u);
+    ASSERT_NE(service_->store(), nullptr);
+    {
+        std::ofstream os(service_->store()->pathFor(
+            SimulationEngine::jobKey(jobs[0])));
+        os << "{\"cut\": "; // truncated
+    }
+    {
+        std::ofstream os(service_->store()->pathFor(
+            SimulationEngine::jobKey(jobs[1])));
+        os << "{\"note\": \"wrong shape\"}\n"; // corrupt
+    }
+    {
+        std::ofstream os(service_->store()->pathFor(
+            SimulationEngine::jobKey(jobs[2])));
+        os << "{\"schema_version\": 999, \"key\": \"x\", "
+              "\"result\": {}}\n"; // version mismatch
+    }
+
+    submitAndWait(http, "/v1/campaigns", smokeSpecText());
+    const HttpResponse response = http.get("/v1/stats");
+    ASSERT_EQ(response.status, 200);
+    const json::Value body = json::Value::parse(response.body);
+    EXPECT_EQ(body.at("store").at("truncated").asNumber(), 1.0);
+    EXPECT_EQ(body.at("store").at("corrupt").asNumber(), 1.0);
+    EXPECT_EQ(body.at("store").at("version_mismatch").asNumber(), 1.0);
+    EXPECT_EQ(body.at("engine").at("store_truncated").asNumber(), 1.0);
+    EXPECT_EQ(body.at("engine").at("store_corrupt").asNumber(), 1.0);
+    EXPECT_EQ(
+        body.at("engine").at("store_version_mismatch").asNumber(),
+        1.0);
 }
 
 TEST_F(ServiceTest, WarmRestartServesFromStoreWithoutSimulating)
