@@ -29,6 +29,7 @@
 
 #include "analysis/engine.h"
 #include "bench_harness.h"
+#include "bitmatrix/simd_dispatch.h"
 #include "core/detector.h"
 #include "core/forest.h"
 #include "core/product_gemm.h"
@@ -126,6 +127,9 @@ main(int argc, char** argv)
     bench::Harness h("hotpath");
     h.setConfig("mode", quick ? "quick" : "full");
     h.setConfig("seed", "7");
+    // Which kernel tier the dispatch actually ran (PROSPERITY_SIMD
+    // applies) — numbers are only comparable between same-tier runs.
+    h.setConfig("simd_tier", simdTierName(activeSimdTier()));
 
     const auto reps = [&](std::size_t full_reps) {
         if (reps_override > 0)

@@ -3,9 +3,10 @@
  * prosperity_cli — command-line driver for the simulator, the analogue
  * of the original artifact's run scripts.
  *
- *   prosperity_cli list [models|datasets|accelerators]
+ *   prosperity_cli list [models|datasets|accelerators|simd]
  *       Show the registered models, datasets and accelerators (all
- *       three axes are open, string-keyed registries).
+ *       three axes are open, string-keyed registries) plus the active
+ *       and available SIMD kernel tiers.
  *   prosperity_cli run <model> <dataset> [accelerator] [--csv]
  *       End-to-end simulation; default accelerator "all" compares the
  *       full lineup. --csv prints machine-readable rows.
@@ -56,17 +57,24 @@
  *   prosperity_cli campaign campaigns/fig8.json --out fig8.report.json
  *   prosperity_cli campaign smoke --threads 4
  *   prosperity_cli serve --port 8080 --store runs.store
+ *   prosperity_cli campaign smoke --simd scalar
+ *
+ * The global `--simd <scalar|sse2|avx2|avx512>` flag (any command)
+ * forces the SIMD kernel tier, equivalent to setting PROSPERITY_SIMD;
+ * tier choice never changes results, only speed (simd_dispatch.h).
  */
 
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <thread>
 #include <vector>
 
 #include "analysis/campaign.h"
+#include "bitmatrix/simd_dispatch.h"
 #include "analysis/density.h"
 #include "analysis/export.h"
 #include "serve/http.h"
@@ -88,7 +96,7 @@ usage()
 {
     std::cerr
         << "usage:\n"
-        << "  prosperity_cli list [models|datasets|accelerators]\n"
+        << "  prosperity_cli list [models|datasets|accelerators|simd]\n"
         << "  prosperity_cli run <model> <dataset> [accelerator|all]"
            " [--csv]\n"
         << "  prosperity_cli density <model> <dataset> [--two-prefix]\n"
@@ -99,7 +107,9 @@ usage()
            " [--csv-out report.csv] [--quiet] [--threads N]"
            " [--seeds N] [--store DIR]\n"
         << "  prosperity_cli serve [--port P] [--store DIR]"
-           " [--threads N] [--max-pending N]\n";
+           " [--threads N] [--max-pending N]\n"
+        << "global flags: --simd scalar|sse2|avx2|avx512 (force the"
+           " kernel tier; see `list simd`)\n";
     return 2;
 }
 
@@ -174,7 +184,7 @@ cmdList(const std::string& section)
 {
     const bool all = section.empty();
     if (!all && section != "models" && section != "datasets" &&
-        section != "accelerators") {
+        section != "accelerators" && section != "simd") {
         std::cerr << "unknown list section: " << section << '\n';
         return usage();
     }
@@ -207,6 +217,13 @@ cmdList(const std::string& section)
         for (const std::string& name : accels.names())
             std::cout << "  " << name << ": "
                       << accels.description(name) << '\n';
+    }
+    if (all || section == "simd") {
+        std::cout << "simd: active "
+                  << simdTierName(activeSimdTier()) << ", available";
+        for (const SimdTier tier : availableSimdTiers())
+            std::cout << ' ' << simdTierName(tier);
+        std::cout << " (force with PROSPERITY_SIMD or --simd)\n";
     }
     return 0;
 }
@@ -669,6 +686,28 @@ cmdServe(int argc, char** argv)
 int
 main(int argc, char** argv)
 {
+    // Global --simd TIER: consumed here, before any kernel dispatch,
+    // by forwarding to the PROSPERITY_SIMD environment override (same
+    // parsing, same fall-back-with-warning semantics).
+    std::vector<char*> args(argv, argv + argc);
+    for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+        if (std::strcmp(args[i], "--simd") == 0) {
+            if (!parseSimdTier(args[i + 1])) {
+                std::cerr << "--simd: unknown tier \"" << args[i + 1]
+                          << "\" (expected scalar, sse2, avx2 or"
+                             " avx512)\n";
+                return 2;
+            }
+            setenv("PROSPERITY_SIMD", args[i + 1], 1);
+            resetSimdTier();
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+            break;
+        }
+    }
+    argc = static_cast<int>(args.size());
+    argv = args.data();
+
     if (argc < 2)
         return usage();
     const std::string command = argv[1];

@@ -283,12 +283,14 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
                 largest = g;
         if (groups[largest].size() <= 1)
             break;
-        std::vector<std::size_t>& src = groups[largest];
-        const std::size_t half = src.size() / 2;
-        groups.emplace_back(src.begin() + static_cast<std::ptrdiff_t>(
-                                              src.size() - half),
-                            src.end());
-        src.resize(src.size() - half);
+        // Detach the tail before touching `groups`: emplace_back may
+        // reallocate and would invalidate any reference into it.
+        const std::size_t half = groups[largest].size() / 2;
+        std::vector<std::size_t> tail(
+            groups[largest].end() - static_cast<std::ptrdiff_t>(half),
+            groups[largest].end());
+        groups[largest].resize(groups[largest].size() - half);
+        groups.push_back(std::move(tail));
     }
 
     // Simulate group by group across the pool. Each worker claims the

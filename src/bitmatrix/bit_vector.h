@@ -7,23 +7,43 @@
  * Prosperity hardware performs on spike rows: popcount (the Detector's
  * number-of-ones), subset test (the TCAM match), XOR (the Pruner's
  * sparsify step), and bit-scan-forward (the Processor's address decode).
- * The per-word loops live in bitmatrix/word_kernels.h so the Detector
- * can run the same fused kernels over raw word spans.
+ * The per-word loops live in bitmatrix/word_kernels.h (scalar
+ * reference) and are executed through the runtime SIMD dispatch
+ * (bitmatrix/simd_dispatch.h), so the Detector runs the same fused
+ * kernels — at whatever tier the host supports — over raw word spans.
  *
  * @par Word layout
  * Bit `pos` lives in `words()[pos / 64]` at bit `pos % 64` (little-endian
  * within and across words). `words().size() == ceil(size() / 64)`.
  *
+ * @par Padded stride (SIMD layout contract)
+ * The backing store is padded past the logical words up to a multiple
+ * of kRowStrideWords (8 words = 512 bits, the widest vector tier), so
+ * a kernel streaming whole 512-bit chunks from `words().data()` never
+ * reads past the allocation at any logical width — every row span is
+ * alignment-safe for full-vector loads. `wordCount()` is the logical
+ * word count (== words().size()), `strideWords()` the padded one;
+ * `paddedWords()` exposes the full stride. Pad words are always zero
+ * (checked by the property tests), so handing the padded stride to
+ * popcount / subset / any kernels cannot change their result.
+ *
+ * Vectors of at most one stride (<= 512 bits) store their words inline
+ * in the object — no heap allocation. The Detector builds one
+ * subset-mask row per tile row per call over narrow (k <= 64) tiles,
+ * so the inline buffer takes all heap traffic out of that hot loop;
+ * wider vectors fall back to one heap block of strideWords() words.
+ *
  * @par Tail-masking invariant
  * Bits of the last word at positions `>= size() % 64` (when `size()` is
- * not word-aligned) are always zero. The invariant cannot be bypassed:
- * every write that can introduce arbitrary out-of-range bits —
- * `setWord` and the word-batched `randomize`, i.e. all word-granularity
- * entry points future kernels would use — funnels through one private
- * masked-write path (`storeWord`) that discards tail bits, while the
- * remaining mutators preserve the invariant by construction (`set`
- * asserts `pos < size()`; AND/OR/XOR between canonical equal-width
- * operands yield canonical words). The invariant is what makes
+ * not word-aligned) are always zero, and every pad word beyond
+ * wordCount() is zero. The invariant cannot be bypassed: every write
+ * that can introduce arbitrary out-of-range bits — `setWord` and the
+ * word-batched `randomize`, i.e. all word-granularity entry points
+ * future kernels would use — funnels through one private masked-write
+ * path (`storeWord`) that discards tail bits, while the remaining
+ * mutators preserve the invariant by construction (`set` asserts
+ * `pos < size()`; AND/OR/XOR between canonical equal-width operands
+ * yield canonical words, pad included). The invariant is what makes
  * `hash()`, `operator==`, and the word kernels canonical: equal bit
  * content implies equal words.
  */
@@ -32,9 +52,12 @@
 #define PROSPERITY_BITMATRIX_BIT_VECTOR_H
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "sim/logging.h"
 #include "sim/rng.h"
 
 namespace prosperity {
@@ -43,8 +66,21 @@ namespace prosperity {
 class BitVector
 {
   public:
+    /**
+     * Row stride granularity in words: the backing store of every
+     * non-empty vector is a multiple of this, sized for the widest
+     * SIMD tier (512 bits).
+     */
+    static constexpr std::size_t kRowStrideWords = 8;
+
     /** Construct an all-zero vector of `bits` bits. */
     explicit BitVector(std::size_t bits = 0);
+
+    BitVector(const BitVector& other);
+    BitVector(BitVector&& other) noexcept;
+    BitVector& operator=(const BitVector& other);
+    BitVector& operator=(BitVector&& other) noexcept;
+    ~BitVector() = default;
 
     /**
      * Construct from a string of '0'/'1' characters, most significant
@@ -63,10 +99,26 @@ class BitVector
     bool none() const { return !any(); }
 
     /** Read bit `pos`. */
-    bool test(std::size_t pos) const;
+    bool test(std::size_t pos) const
+    {
+        PROSPERITY_ASSERT(pos < bits_, "bit index out of range");
+        return (data()[pos / 64] >> (pos % 64)) & 1ULL;
+    }
 
-    /** Set bit `pos` to `value`. */
-    void set(std::size_t pos, bool value = true);
+    /**
+     * Set bit `pos` to `value`. Inline: the Detector sets one bit per
+     * confirmed subset match, so this sits in the hottest loop.
+     */
+    void set(std::size_t pos, bool value = true)
+    {
+        PROSPERITY_ASSERT(pos < bits_, "bit index out of range");
+        // In-range single-bit writes cannot touch the tail padding.
+        const std::uint64_t mask = 1ULL << (pos % 64);
+        if (value)
+            data()[pos / 64] |= mask;
+        else
+            data()[pos / 64] &= ~mask;
+    }
 
     /** Clear every bit. */
     void clear();
@@ -135,11 +187,36 @@ class BitVector
     std::uint64_t hash() const;
 
     /**
-     * Backing words, low bits first; the final word is zero-padded (the
-     * tail-masking invariant above), so spans handed to the word
-     * kernels never expose phantom bits.
+     * Logical backing words, low bits first; the final word is
+     * zero-padded (the tail-masking invariant above), so spans handed
+     * to the word kernels never expose phantom bits. The allocation
+     * extends to strideWords() (see the padded-stride contract above),
+     * so full-vector reads from `words().data()` up to the stride are
+     * always in bounds.
      */
-    const std::vector<std::uint64_t>& words() const { return words_; }
+    std::span<const std::uint64_t> words() const
+    {
+        return {data(), word_count_};
+    }
+
+    /** Number of logical words, ceil(size() / 64). */
+    std::size_t wordCount() const { return word_count_; }
+
+    /**
+     * Padded stride in words: wordCount() rounded up to
+     * kRowStrideWords (0 for an empty vector).
+     */
+    std::size_t strideWords() const { return stride_words_; }
+
+    /**
+     * The whole padded stride, pad words included. Pad words are
+     * always zero; kernels that are popcount/subset/any-shaped may
+     * consume this span instead of words() to skip scalar tails.
+     */
+    std::span<const std::uint64_t> paddedWords() const
+    {
+        return {data(), stride_words_};
+    }
 
     /**
      * Direct word write for bulk generators and kernels. Tail bits
@@ -160,8 +237,35 @@ class BitVector
     /** All-ones mask of valid bits for word `index`. */
     std::uint64_t wordMask(std::size_t index) const;
 
+    /**
+     * Word count handed to the dispatched query kernels: the padded
+     * stride for vectors of at least one stride (tail-free
+     * whole-vector loops over zero pad), the logical count below that
+     * (a 1-word row must not pay for an 8-word sweep).
+     */
+    std::size_t queryLen() const
+    {
+        return word_count_ >= kRowStrideWords ? stride_words_
+                                              : word_count_;
+    }
+
+    /** Backing words: inline up to one stride, heap beyond. */
+    const std::uint64_t* data() const
+    {
+        return heap_words_ ? heap_words_.get() : inline_words_;
+    }
+    std::uint64_t* data()
+    {
+        return heap_words_ ? heap_words_.get() : inline_words_;
+    }
+
     std::size_t bits_ = 0;
-    std::vector<std::uint64_t> words_;
+    std::size_t word_count_ = 0; ///< logical words, ceil(bits_ / 64)
+    std::size_t stride_words_ = 0; ///< padded to kRowStrideWords
+    /** In-object storage for vectors of at most kRowStrideWords. */
+    std::uint64_t inline_words_[kRowStrideWords] = {};
+    /** Heap storage (stride_words_ words) for wider vectors. */
+    std::unique_ptr<std::uint64_t[]> heap_words_;
 };
 
 } // namespace prosperity

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD tiers for the word-level bit kernels.
+ *
+ * The simulator's innermost loops (bitmatrix/word_kernels.h) have one
+ * scalar reference implementation and up to three vector
+ * specializations (SSE2 / AVX2 / AVX-512), each compiled in its own
+ * translation unit with that tier's `-m` flags so the rest of the
+ * library stays portable baseline code. At startup the best tier the
+ * CPU supports is selected once; every call after that goes through a
+ * table of function pointers (`simdOps()`).
+ *
+ * @par Equivalence contract
+ * Every tier computes bit-identical results to the scalar reference in
+ * word_kernels.h for every input — not "close", identical. The
+ * differential suite (tests/test_simd_kernels.cc) fuzzes all available
+ * tiers against the scalar reference across widths, word-boundary
+ * tails and adversarial patterns, and the golden pins (detector
+ * identity, spike-generator hashes, byte-identical campaign reports)
+ * are re-run under each forced tier. Tier choice can never change a
+ * simulation result, only its speed.
+ *
+ * @par Forcing a tier
+ * The `PROSPERITY_SIMD` environment variable (values: `scalar`,
+ * `sse2`, `avx2`, `avx512`, case-insensitive) forces a tier before the
+ * first dispatch; the CLI forwards `--simd <tier>` to the same
+ * mechanism. Forcing a tier the host cannot run falls back to the best
+ * available tier at or below the request, with a warning on stderr.
+ * Tests force tiers directly via setSimdTier().
+ */
+
+#ifndef PROSPERITY_BITMATRIX_SIMD_DISPATCH_H
+#define PROSPERITY_BITMATRIX_SIMD_DISPATCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace prosperity {
+
+/** Instruction-set tiers, ordered from most portable to widest. */
+enum class SimdTier : int
+{
+    kScalar = 0,
+    kSse2 = 1,
+    kAvx2 = 2,
+    kAvx512 = 3,
+};
+
+/**
+ * One tier's kernel table. All functions are exact-width safe: they
+ * read exactly `n` words (vector main loop plus scalar tail), so raw
+ * arrays are legal inputs. Spans from BitVector/BitMatrix rows are
+ * additionally padded to kRowStrideWords (bit_vector.h), which lets
+ * callers hand whole padded strides to the popcount/subset/any kernels
+ * and never exercise the scalar tail on the hot path.
+ */
+struct SimdOps
+{
+    SimdTier tier = SimdTier::kScalar;
+    const char* name = "scalar";
+
+    /** Total set bits across `n` words. */
+    std::size_t (*popcountWords)(const std::uint64_t* words,
+                                 std::size_t n);
+
+    /** popcount(a & b) over `n` words without materializing the AND. */
+    std::size_t (*andPopcountWords)(const std::uint64_t* a,
+                                    const std::uint64_t* b,
+                                    std::size_t n);
+
+    /**
+     * Subset test: (sub & ~super) == 0, early-exiting one cache line
+     * (8 words) at a time in the vector tiers.
+     */
+    bool (*isSubsetOfWords)(const std::uint64_t* sub,
+                            const std::uint64_t* super, std::size_t n);
+
+    /** Whether any of `n` words is non-zero. */
+    bool (*anyWord)(const std::uint64_t* words, std::size_t n);
+
+    /** Occupancy signature (see word_kernels.h signatureWords). */
+    std::uint64_t (*signatureWords)(const std::uint64_t* words,
+                                    std::size_t n);
+
+    /**
+     * Signature-prefilter scan over a contiguous array of candidate
+     * signatures: appends to `out` every index t in [0, n) with
+     * (sigs[t] & ~query_sig) == 0, ascending, and returns how many it
+     * wrote. `out` must have room for n entries; entries past the
+     * returned count are unspecified (the vector tiers compress-store
+     * survivors branchlessly). This is the Detector's inner loop: one
+     * query row tested against every sorted candidate signature.
+     */
+    std::size_t (*signatureScanWords)(const std::uint64_t* sigs,
+                                      std::size_t n,
+                                      std::uint64_t query_sig,
+                                      std::uint32_t* out);
+};
+
+/**
+ * The active kernel table. First call detects the CPU, applies any
+ * PROSPERITY_SIMD override, and caches the result; afterwards this is
+ * one atomic load. Thread-safe.
+ */
+const SimdOps& simdOps();
+
+/** Tier of the active table. */
+SimdTier activeSimdTier();
+
+/** Lower-case tier name ("scalar", "sse2", "avx2", "avx512"). */
+const char* simdTierName(SimdTier tier);
+
+/** Parse a tier name (case-insensitive); nullopt for unknown names. */
+std::optional<SimdTier> parseSimdTier(const std::string& name);
+
+/**
+ * Whether `tier` was compiled in AND the host CPU can execute it.
+ * kScalar is always available.
+ */
+bool simdTierAvailable(SimdTier tier);
+
+/** Every available tier, ascending (always starts with kScalar). */
+std::vector<SimdTier> availableSimdTiers();
+
+/**
+ * Force the active tier (tests, CLI --simd). Returns false and leaves
+ * the dispatch unchanged when the tier is unavailable on this host.
+ */
+bool setSimdTier(SimdTier tier);
+
+/** Drop any force and re-run auto-detection (incl. PROSPERITY_SIMD). */
+void resetSimdTier();
+
+} // namespace prosperity
+
+#endif // PROSPERITY_BITMATRIX_SIMD_DISPATCH_H

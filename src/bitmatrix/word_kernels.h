@@ -13,6 +13,13 @@
  * logical width are zero. `BitVector` maintains that invariant through
  * its single masked-write path (see BitVector::storeWord), so spans
  * obtained from `BitVector::words()` are always safe inputs.
+ *
+ * These functions are the *scalar reference tier*: the runtime SIMD
+ * dispatch (bitmatrix/simd_dispatch.h) exposes the same operations as
+ * function pointers with SSE2/AVX2/AVX-512 specializations that must
+ * be bit-identical to these loops on every input — the differential
+ * suite in tests/test_simd_kernels.cc enforces it. Hot paths call the
+ * dispatched table; these inlines remain the semantic ground truth.
  */
 
 #ifndef PROSPERITY_BITMATRIX_WORD_KERNELS_H
@@ -98,6 +105,33 @@ signatureWords(const std::uint64_t* words, std::size_t n)
         if (words[i])
             sig |= 1ULL << (i / group);
     return sig;
+}
+
+/**
+ * Signature-prefilter scan: append to `out` every index t in [0, n)
+ * whose candidate signature passes the subset prefilter against
+ * `query_sig` — (sigs[t] & ~query_sig) == 0 — in ascending order, and
+ * return the number written. This is the Detector's candidate sweep
+ * hoisted over a contiguous array so the SIMD tiers can test several
+ * candidates per instruction.
+ *
+ * Contract: `out` must have room for n entries, and entries past the
+ * returned count are unspecified — the vector tiers extract survivors
+ * branchlessly (compress stores), scribbling up to one vector of
+ * losers past the live prefix before the next batch overwrites them.
+ * Match masks are inherently unpredictable, so a per-bit extraction
+ * loop would mispredict away the gain of the vector compare.
+ */
+inline std::size_t
+signatureScanWords(const std::uint64_t* sigs, std::size_t n,
+                   std::uint64_t query_sig, std::uint32_t* out)
+{
+    const std::uint64_t not_query = ~query_sig;
+    std::size_t count = 0;
+    for (std::size_t t = 0; t < n; ++t)
+        if ((sigs[t] & not_query) == 0)
+            out[count++] = static_cast<std::uint32_t>(t);
+    return count;
 }
 
 } // namespace prosperity

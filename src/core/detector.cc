@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "bitmatrix/simd_dispatch.h"
 #include "bitmatrix/word_kernels.h"
 #include "sim/logging.h"
 
@@ -19,15 +20,24 @@ Detector::detect(const BitMatrix& tile) const
         return result;
 
     // Per-row word spans, popcounts and one-word occupancy signatures.
+    // All kernel calls below go through the dispatched SIMD table. Wide
+    // rows are swept over their whole padded stride (zero pad, so no
+    // scalar tails); rows narrower than a stride use the logical count
+    // — the paper's 16-column tiles are one word per row and must not
+    // pay for an 8-word sweep.
+    const SimdOps& ops = simdOps();
+    const std::size_t logical_words = tile.row(0).wordCount();
+    const std::size_t nwords =
+        logical_words >= BitVector::kRowStrideWords
+            ? tile.row(0).strideWords()
+            : logical_words;
     std::vector<const std::uint64_t*> row_words(m);
     std::vector<std::uint64_t> sig(m);
-    std::size_t nwords = 0;
     std::size_t max_pc = 0;
     for (std::size_t i = 0; i < m; ++i) {
         const BitVector& row = tile.row(i);
-        row_words[i] = row.words().data();
-        nwords = row.words().size();
-        result.popcounts[i] = popcountWords(row_words[i], nwords);
+        row_words[i] = row.paddedWords().data();
+        result.popcounts[i] = ops.popcountWords(row_words[i], nwords);
         sig[i] = row.signature();
         max_pc = std::max(max_pc, result.popcounts[i]);
     }
@@ -56,26 +66,44 @@ Detector::detect(const BitMatrix& tile) const
         }
     }
 
-    // TCAM search per query row: signature prefilter, then the fused
-    // early-exit word comparison. Empty rows neither query nor match
-    // (the hardware's valid bit masks them out of the match line).
+    // Signatures gathered in sorted order: the per-query prefilter then
+    // scans one contiguous array with the vectorized signatureScanWords
+    // kernel (4 candidates per compare on AVX2, 8 on AVX-512) instead
+    // of chasing order[] indirections word by word.
+    std::vector<std::uint64_t> sig_sorted(order.size());
+    for (std::size_t t = 0; t < order.size(); ++t)
+        sig_sorted[t] = sig[order[t]];
+    std::vector<std::uint32_t> survivors(order.size());
+
+    // TCAM search per query row: vectorized signature prefilter over
+    // the sorted candidates, then the fused early-exit word comparison
+    // on the few survivors. For single-word rows (every k<=64 tile,
+    // including the paper's 256x16 ones) the signature IS the row, so
+    // the scan is exact and the confirmation loop is skipped entirely.
+    // Empty rows neither query nor match (the hardware's valid bit
+    // masks them out of the match line).
+    const bool signature_is_exact = logical_words == 1;
     for (std::size_t i = 0; i < m; ++i) {
         const std::size_t pc_i = result.popcounts[i];
         if (pc_i == 0)
             continue;
-        const std::uint64_t not_sig_i = ~sig[i];
         const std::uint64_t* words_i = row_words[i];
         BitVector& mask = result.subset_mask[i];
         const std::size_t end = bucket_end[pc_i];
-        for (std::size_t t = 0; t < end; ++t) {
-            const std::size_t j = order[t];
-            if (j == i || (sig[j] & not_sig_i))
-                continue;
-            // For single-word rows the signature test above is already
-            // exact, making this comparison redundant — but branching
-            // around it (`nwords == 1 ||`) measures ~10% *slower* on
-            // 256x16 tiles than letting the inlined one-word loop run.
-            if (isSubsetOfWords(row_words[j], words_i, nwords))
+        const std::size_t kept = ops.signatureScanWords(
+            sig_sorted.data(), end, sig[i], survivors.data());
+        if (signature_is_exact) {
+            for (std::size_t s = 0; s < kept; ++s) {
+                const std::size_t j = order[survivors[s]];
+                if (j != i)
+                    mask.set(j);
+            }
+            continue;
+        }
+        for (std::size_t s = 0; s < kept; ++s) {
+            const std::size_t j = order[survivors[s]];
+            if (j != i &&
+                ops.isSubsetOfWords(row_words[j], words_i, nwords))
                 mask.set(j);
         }
     }

@@ -6,6 +6,7 @@
 
 #include "analysis/export.h"
 #include "analysis/result_json.h"
+#include "bitmatrix/simd_dispatch.h"
 #include "snn/model_registry.h"
 
 namespace prosperity::serve {
@@ -462,6 +463,9 @@ SimulationService::statsDocument() const
     root.set("engine", std::move(engine));
     root.set("store", std::move(store));
     root.set("service", std::move(service));
+    // Which kernel tier every simulation behind this server runs on
+    // (tier choice never changes results, only throughput).
+    root.set("simd_tier", std::string(simdTierName(activeSimdTier())));
     return HttpResponse::json(200, root);
 }
 

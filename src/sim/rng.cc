@@ -103,6 +103,70 @@ Rng::nextBernoulliWord(double p)
     return acc;
 }
 
+void
+Rng::nextBernoulliWords(std::uint64_t* dst, std::size_t nwords,
+                        double p)
+{
+    constexpr std::uint64_t kOne = 1ULL << kBernoulliBits;
+    if (nwords == 0)
+        return;
+    if (!(p > 0.0)) {
+        for (std::size_t w = 0; w < nwords; ++w)
+            dst[w] = 0;
+        return;
+    }
+    if (p >= 1.0) {
+        for (std::size_t w = 0; w < nwords; ++w)
+            dst[w] = ~0ULL;
+        return;
+    }
+    const auto q = static_cast<std::uint64_t>(
+        p * static_cast<double>(kOne) + 0.5);
+    if (q == 0) {
+        for (std::size_t w = 0; w < nwords; ++w)
+            dst[w] = 0;
+        return;
+    }
+    if (q >= kOne) {
+        for (std::size_t w = 0; w < nwords; ++w)
+            dst[w] = ~0ULL;
+        return;
+    }
+
+    // Same digit-synthesis loop as nextBernoulliWord, with p quantized
+    // once for the whole batch and the xoshiro state held in locals so
+    // the per-draw state round-trips through registers instead of the
+    // member array. The draw order is word-major — all draws for
+    // dst[0], then dst[1], ... — exactly matching `nwords` separate
+    // nextBernoulliWord(p) calls, so pinned spike hashes are unchanged.
+    std::uint64_t s0 = state_[0], s1 = state_[1];
+    std::uint64_t s2 = state_[2], s3 = state_[3];
+    const auto draw = [&]() {
+        const std::uint64_t result = rotl(s1 * 5, 7) * 9;
+        const std::uint64_t t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = rotl(s3, 45);
+        return result;
+    };
+    const int first_digit = std::countr_zero(q) + 1;
+    for (std::size_t w = 0; w < nwords; ++w) {
+        std::uint64_t acc = draw();
+        for (int b = first_digit; b < kBernoulliBits; ++b) {
+            const std::uint64_t r = draw();
+            acc = (q & (1ULL << b)) ? (r | acc) : (r & acc);
+        }
+        dst[w] = acc;
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+}
+
 std::size_t
 Rng::nextBinomial(std::size_t n, double p)
 {

@@ -59,6 +59,18 @@ class Rng
     std::uint64_t nextBernoulliWord(double p);
 
     /**
+     * Fill `dst[0..nwords)` with Bernoulli(p) words — bit-for-bit the
+     * same output (and the same number of raw draws, leaving the
+     * stream in the same state) as `nwords` successive
+     * nextBernoulliWord(p) calls. The batched form quantizes p once
+     * and keeps the generator state in registers for the whole row,
+     * which is what makes whole-row spike generation cheap; the
+     * equivalence is pinned by tests/test_simd_kernels.cc.
+     */
+    void nextBernoulliWords(std::uint64_t* dst, std::size_t nwords,
+                            double p);
+
+    /**
      * Binomial(n, p) draw via popcounts of nextBernoulliWord batches:
      * exactly the number of successes in n Bernoulli(p) trials, at
      * ~kBernoulliBits/64 raw draws per trial word.

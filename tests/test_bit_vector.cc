@@ -185,6 +185,43 @@ TEST(BitVector, SetWordMasksTailBits)
     EXPECT_EQ(v.popcount(), 10u);
 }
 
+TEST(BitVector, PaddedStrideLayoutContract)
+{
+    // words() spans exactly the logical words; the backing stride is
+    // the next multiple of kRowStrideWords, and the pad reads as zero.
+    for (std::size_t bits :
+         {1UL, 10UL, 64UL, 65UL, 511UL, 512UL, 513UL, 1000UL}) {
+        BitVector v(bits);
+        const std::size_t logical = (bits + 63) / 64;
+        EXPECT_EQ(v.wordCount(), logical) << "bits=" << bits;
+        EXPECT_EQ(v.words().size(), logical) << "bits=" << bits;
+        EXPECT_EQ(v.strideWords() % BitVector::kRowStrideWords, 0u)
+            << "bits=" << bits;
+        EXPECT_GE(v.strideWords(), logical) << "bits=" << bits;
+        EXPECT_LT(v.strideWords(), logical + BitVector::kRowStrideWords)
+            << "bits=" << bits;
+        EXPECT_EQ(v.paddedWords().size(), v.strideWords())
+            << "bits=" << bits;
+
+        // Pad words stay zero through a full-density fill.
+        Rng rng(bits);
+        v.randomize(rng, 1.0);
+        for (std::size_t i = v.wordCount(); i < v.strideWords(); ++i)
+            EXPECT_EQ(v.paddedWords()[i], 0u)
+                << "bits=" << bits << " pad word " << i;
+    }
+}
+
+TEST(BitVector, EmptyVectorHasNoWords)
+{
+    const BitVector v(0);
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_EQ(v.wordCount(), 0u);
+    EXPECT_EQ(v.words().size(), 0u);
+    EXPECT_FALSE(v.any());
+    EXPECT_EQ(v.popcount(), 0u);
+}
+
 TEST(BitVector, EqualityRequiresSameWidth)
 {
     const BitVector a(8);

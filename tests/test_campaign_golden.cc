@@ -25,6 +25,7 @@
 #include <string>
 
 #include "analysis/campaign.h"
+#include "bitmatrix/simd_dispatch.h"
 
 namespace prosperity {
 namespace {
@@ -84,6 +85,51 @@ INSTANTIATE_TEST_SUITE_P(AllCampaigns, CampaignGolden,
                          [](const auto& info) {
                              return std::string(info.param);
                          });
+
+/**
+ * The same byte-identity, re-run under each forced SIMD tier: the
+ * smoke campaign covers the detector, pruner, generator and report
+ * writer end to end, so one golden re-check per tier pins "tier
+ * choice never changes a simulation result" at the highest level the
+ * repo has. (The full campaign set runs once above under the auto
+ * tier; smoke keeps the per-tier sweep cheap.)
+ */
+class CampaignGoldenPerTier : public ::testing::TestWithParam<SimdTier>
+{
+  protected:
+    void TearDown() override { resetSimdTier(); }
+};
+
+TEST_P(CampaignGoldenPerTier, SmokeReportIsByteIdenticalUnderForcedTier)
+{
+    ASSERT_TRUE(setSimdTier(GetParam()))
+        << simdTierName(GetParam());
+    SimulationEngine engine;
+    CampaignRunner runner(engine);
+    const CampaignReport report = runner.run(loadNamedCampaign("smoke"));
+    const std::string produced = report.toJson().dump(2) + "\n";
+    const std::string golden =
+        readFile(goldenDir() + "/smoke.report.json");
+    if (produced != golden) {
+        std::size_t at = 0;
+        while (at < produced.size() && at < golden.size() &&
+               produced[at] == golden[at])
+            ++at;
+        FAIL() << "tier " << simdTierName(GetParam())
+               << ": smoke.report.json diverges from the golden at byte "
+               << at << ": ..."
+               << golden.substr(at > 40 ? at - 40 : 0, 80)
+               << "... vs produced ..."
+               << produced.substr(at > 40 ? at - 40 : 0, 80) << "...";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAvailableTiers, CampaignGoldenPerTier,
+    ::testing::ValuesIn(availableSimdTiers()),
+    [](const ::testing::TestParamInfo<SimdTier>& info) {
+        return std::string(simdTierName(info.param));
+    });
 
 } // namespace
 } // namespace prosperity

@@ -155,6 +155,116 @@ TEST_P(TileSizeProperties, LosslessForAnyTileConfig)
               ProductGemm::referenceMultiply(spikes, weights));
 }
 
+/**
+ * Canonical-form check for the SIMD layout contract (bit_vector.h):
+ * tail bits of the last logical word and every pad word of the stride
+ * must be zero after any sequence of mutations.
+ */
+::testing::AssertionResult
+paddingIsCanonical(const BitVector& v)
+{
+    const auto padded = v.paddedWords();
+    const std::size_t tail = v.size() % 64;
+    if (tail != 0 && (padded[v.wordCount() - 1] >> tail) != 0)
+        return ::testing::AssertionFailure()
+               << "tail bits set in last logical word (size=" << v.size()
+               << ")";
+    for (std::size_t i = v.wordCount(); i < padded.size(); ++i)
+        if (padded[i] != 0)
+            return ::testing::AssertionFailure()
+                   << "pad word " << i << " non-zero (size=" << v.size()
+                   << ", wordCount=" << v.wordCount() << ")";
+    if (padded.size() % BitVector::kRowStrideWords != 0)
+        return ::testing::AssertionFailure()
+               << "stride " << padded.size()
+               << " not a multiple of kRowStrideWords";
+    return ::testing::AssertionSuccess();
+}
+
+/** Padded-stride invariant through every mutating path. */
+class PaddedStrideProperties : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PaddedStrideProperties, EveryMutatingPathKeepsPaddingZero)
+{
+    const std::size_t bits = GetParam();
+    Rng rng(bits * 7919 + 3);
+
+    BitVector v(bits);
+    ASSERT_TRUE(paddingIsCanonical(v)) << "fresh";
+
+    v.randomize(rng, 0.6);
+    ASSERT_TRUE(paddingIsCanonical(v)) << "randomize";
+
+    for (std::size_t w = 0; w < v.wordCount(); ++w)
+        v.setWord(w, rng.next());
+    ASSERT_TRUE(paddingIsCanonical(v)) << "setWord";
+
+    v.set(bits - 1);
+    v.set(0, false);
+    ASSERT_TRUE(paddingIsCanonical(v)) << "set";
+
+    BitVector other(bits);
+    other.randomize(rng, 0.4);
+    v &= other;
+    ASSERT_TRUE(paddingIsCanonical(v)) << "operator&=";
+    v |= other;
+    ASSERT_TRUE(paddingIsCanonical(v)) << "operator|=";
+    v ^= other;
+    ASSERT_TRUE(paddingIsCanonical(v)) << "operator^=";
+    ASSERT_TRUE(paddingIsCanonical(v & other)) << "operator&";
+    ASSERT_TRUE(paddingIsCanonical(v | other)) << "operator|";
+    ASSERT_TRUE(paddingIsCanonical(v ^ other)) << "operator^";
+    ASSERT_TRUE(paddingIsCanonical(v.andNot(other))) << "andNot";
+
+    v.clear();
+    ASSERT_TRUE(paddingIsCanonical(v)) << "clear";
+
+    const BitVector parsed =
+        BitVector::fromString(std::string(bits, '1'));
+    ASSERT_TRUE(paddingIsCanonical(parsed)) << "fromString";
+}
+
+TEST_P(PaddedStrideProperties, MatrixPathsKeepPaddingZero)
+{
+    const std::size_t cols = GetParam();
+    Rng rng(cols + 17);
+    BitMatrix m(48, cols);
+    m.randomize(rng, 0.3);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        ASSERT_TRUE(paddingIsCanonical(m.row(r))) << "randomize row " << r;
+
+    const BitMatrix t = m.tile(5, 1, 16, cols > 2 ? cols - 2 : cols);
+    for (std::size_t r = 0; r < t.rows(); ++r)
+        ASSERT_TRUE(paddingIsCanonical(t.row(r))) << "tile row " << r;
+
+    const BitMatrix tr = m.transpose();
+    for (std::size_t r = 0; r < tr.rows(); ++r)
+        ASSERT_TRUE(paddingIsCanonical(tr.row(r)))
+            << "transpose row " << r;
+
+    BitMatrix appended(0, cols);
+    appended.appendRows(m);
+    appended.appendRows(t.rows() > 0 && t.cols() == cols ? t : m);
+    for (std::size_t r = 0; r < appended.rows(); ++r)
+        ASSERT_TRUE(paddingIsCanonical(appended.row(r)))
+            << "appendRows row " << r;
+
+    // The generator exercises randomize + set + row copies in one go.
+    ActivationProfile profile;
+    profile.bit_density = 0.2;
+    const BitMatrix gen =
+        SpikeGenerator(profile, 77).generate(64, cols, 2, 1);
+    for (std::size_t r = 0; r < gen.rows(); ++r)
+        ASSERT_TRUE(paddingIsCanonical(gen.row(r)))
+            << "spike generator row " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PaddedStrideProperties,
+                         ::testing::Values(1, 5, 63, 64, 65, 127, 128,
+                                           511, 512, 513, 1000));
+
 INSTANTIATE_TEST_SUITE_P(
     TileSizes, TileSizeProperties,
     ::testing::Values(std::pair<std::size_t, std::size_t>{4, 4},

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bitmatrix/simd_dispatch.h"
 #include "gen/spike_generator.h"
 
 namespace prosperity {
@@ -66,6 +67,37 @@ TEST(SpikeGenerator, WordBatchedOutputMatchesPinnedHashes)
         EXPECT_EQ(matrixHash(m), pin.hash)
             << "seed=" << pin.seed << " layer=" << pin.layer;
     }
+}
+
+TEST(SpikeGenerator, PinnedHashesHoldUnderEveryForcedSimdTier)
+{
+    // The SIMD tier must never change a generated bit: the same pins
+    // as above, re-checked with the dispatch forced to each tier the
+    // host supports (scalar included). A divergence here means a
+    // vector kernel or the batched RNG broke the equivalence contract
+    // of bitmatrix/simd_dispatch.h.
+    const struct
+    {
+        std::uint64_t seed;
+        std::size_t layer;
+        std::uint64_t hash;
+    } pins[] = {
+        {42ULL, 0, 0x9e0597ee4dfceaedULL},
+        {42ULL, 3, 0x0d5d70cbce924d92ULL},
+        {7ULL, 1, 0x5109284548edce31ULL},
+        {1234567ULL, 9, 0x11a6941fdc2e989eULL},
+    };
+    for (const SimdTier tier : availableSimdTiers()) {
+        ASSERT_TRUE(setSimdTier(tier)) << simdTierName(tier);
+        for (const auto& pin : pins) {
+            const SpikeGenerator gen(defaultProfile(), pin.seed);
+            const BitMatrix m = gen.generate(128, 64, 4, pin.layer);
+            EXPECT_EQ(matrixHash(m), pin.hash)
+                << "tier=" << simdTierName(tier) << " seed=" << pin.seed
+                << " layer=" << pin.layer;
+        }
+    }
+    resetSimdTier();
 }
 
 TEST(SpikeGenerator, LayersHaveIndependentStreams)
