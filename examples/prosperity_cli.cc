@@ -82,6 +82,7 @@
 #include "serve/service.h"
 #include "snn/model_desc.h"
 #include "snn/model_registry.h"
+#include "util/build_config.h"
 
 using namespace prosperity;
 
@@ -96,7 +97,8 @@ usage()
 {
     std::cerr
         << "usage:\n"
-        << "  prosperity_cli list [models|datasets|accelerators|simd]\n"
+        << "  prosperity_cli list"
+           " [models|datasets|accelerators|simd|analysis]\n"
         << "  prosperity_cli run <model> <dataset> [accelerator|all]"
            " [--csv]\n"
         << "  prosperity_cli density <model> <dataset> [--two-prefix]\n"
@@ -184,7 +186,8 @@ cmdList(const std::string& section)
 {
     const bool all = section.empty();
     if (!all && section != "models" && section != "datasets" &&
-        section != "accelerators" && section != "simd") {
+        section != "accelerators" && section != "simd" &&
+        section != "analysis") {
         std::cerr << "unknown list section: " << section << '\n';
         return usage();
     }
@@ -224,6 +227,11 @@ cmdList(const std::string& section)
         for (const SimdTier tier : availableSimdTiers())
             std::cout << ' ' << simdTierName(tier);
         std::cout << " (force with PROSPERITY_SIMD or --simd)\n";
+    }
+    if (all || section == "analysis") {
+        // Mirrors `list simd`: what this binary was compiled with, so
+        // "which build is this daemon?" is answerable from the binary.
+        std::cout << "analysis: " << util::buildConfigSummary() << '\n';
     }
     return 0;
 }

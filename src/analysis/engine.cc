@@ -26,12 +26,16 @@ SimulationEngine::SimulationEngine(EngineOptions options)
 
 SimulationEngine::~SimulationEngine()
 {
+    // Detach the pool under the lock, join outside it: workers need
+    // mutex_ to drain, and joined threads can't touch workers_ again.
+    std::vector<std::thread> workers;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         stopping_ = true;
+        workers.swap(workers_);
     }
     queue_cv_.notify_all();
-    for (std::thread& worker : workers_)
+    for (std::thread& worker : workers)
         worker.join();
 }
 
@@ -93,10 +97,9 @@ SimulationEngine::workerLoop()
     for (;;) {
         AsyncTask task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            queue_cv_.wait(lock, [this] {
-                return stopping_ || !queue_.empty();
-            });
+            util::UniqueLock lock(mutex_);
+            while (!stopping_ && queue_.empty())
+                queue_cv_.wait(lock);
             // On shutdown, drain the queue first: every accepted
             // submit() still gets its result.
             if (queue_.empty())
@@ -111,7 +114,7 @@ SimulationEngine::workerLoop()
             // here, off the caller's thread.
             std::shared_ptr<ResultCache> second_level;
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                util::MutexLock lock(mutex_);
                 if (options_.memoize)
                     second_level = second_level_;
             }
@@ -133,7 +136,7 @@ SimulationEngine::workerLoop()
 
             std::vector<std::promise<RunResult>> waiters;
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                util::MutexLock lock(mutex_);
                 if (from_second_level)
                     ++cache_hits_;
                 else
@@ -156,7 +159,7 @@ SimulationEngine::workerLoop()
             const std::exception_ptr error = std::current_exception();
             std::vector<std::promise<RunResult>> waiters;
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                util::MutexLock lock(mutex_);
                 const auto it = inflight_.find(task.key);
                 if (it != inflight_.end()) {
                     waiters = std::move(it->second);
@@ -177,7 +180,7 @@ SimulationEngine::submit(const SimulationJob& job)
     std::future<RunResult> future = promise.get_future();
     std::string key = jobKey(job);
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        util::UniqueLock lock(mutex_);
         if (options_.memoize) {
             const auto cached = cache_.find(key);
             if (cached != cache_.end()) {
@@ -223,7 +226,7 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
     std::vector<std::string> pending_keys;
     std::shared_ptr<ResultCache> second_level;
     if (options_.memoize) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         second_level = second_level_;
     }
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -231,7 +234,7 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
         if (unique_index.count(keys[i]))
             continue;
         if (options_.memoize) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             const auto it = cache_.find(keys[i]);
             if (it != cache_.end()) {
                 snapshot.emplace(keys[i], it->second);
@@ -246,7 +249,7 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
             RunResult stored;
             if (second_level->fetch(keys[i], &stored)) {
                 {
-                    std::lock_guard<std::mutex> lock(mutex_);
+                    util::MutexLock lock(mutex_);
                     cache_.emplace(keys[i], stored);
                 }
                 snapshot.emplace(keys[i], std::move(stored));
@@ -323,7 +326,7 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
     } else {
         std::atomic<std::size_t> next{0};
         std::exception_ptr first_error;
-        std::mutex error_mutex;
+        util::Mutex error_mutex;
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (std::size_t w = 0; w < workers; ++w) {
@@ -336,7 +339,7 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
                     try {
                         simulate(idx);
                     } catch (...) {
-                        std::lock_guard<std::mutex> lock(error_mutex);
+                        util::MutexLock lock(error_mutex);
                         if (!first_error)
                             first_error = std::current_exception();
                     }
@@ -355,7 +358,7 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
             second_level->publish(pending_keys[i], computed[i]);
     std::vector<RunResult> results(jobs.size());
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         cache_misses_ += pending.size();
         for (std::size_t i = 0; i < pending.size(); ++i)
             if (options_.memoize)
@@ -398,14 +401,14 @@ SimulationEngine::runGrid(const std::vector<AcceleratorSpec>& accelerators,
 std::size_t
 SimulationEngine::cacheSize() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return cache_.size();
 }
 
 std::size_t
 SimulationEngine::cacheHits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return cache_hits_;
 }
 
@@ -415,7 +418,7 @@ SimulationEngine::stats() const
     std::shared_ptr<ResultCache> second_level;
     EngineStats stats;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         stats.entries = cache_.size();
         stats.hits = cache_hits_;
         stats.misses = cache_misses_;
@@ -436,14 +439,14 @@ SimulationEngine::stats() const
 void
 SimulationEngine::setResultCache(std::shared_ptr<ResultCache> cache)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     second_level_ = std::move(cache);
 }
 
 void
 SimulationEngine::clearCache()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     cache_.clear();
 }
 

@@ -20,12 +20,10 @@
 #ifndef PROSPERITY_ANALYSIS_ENGINE_H
 #define PROSPERITY_ANALYSIS_ENGINE_H
 
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +31,7 @@
 #include "analysis/runner.h"
 #include "arch/registry.h"
 #include "snn/workload.h"
+#include "util/thread_annotations.h"
 
 namespace prosperity {
 
@@ -255,26 +254,27 @@ class SimulationEngine
         std::promise<RunResult> promise;
     };
 
-    /** Start the worker pool if needed; requires mutex_ held. */
-    void ensureWorkersLocked();
-    void workerLoop();
+    /** Start the worker pool if needed. */
+    void ensureWorkersLocked() REQUIRES(mutex_);
+    void workerLoop() EXCLUDES(mutex_);
 
     EngineOptions options_;
-    mutable std::mutex mutex_;
-    std::map<std::string, RunResult> cache_;
-    std::size_t cache_hits_ = 0;
-    std::size_t cache_misses_ = 0;
-    std::size_t inflight_dedups_ = 0;
-    std::shared_ptr<ResultCache> second_level_;
+    mutable util::Mutex mutex_;
+    std::map<std::string, RunResult> cache_ GUARDED_BY(mutex_);
+    std::size_t cache_hits_ GUARDED_BY(mutex_) = 0;
+    std::size_t cache_misses_ GUARDED_BY(mutex_) = 0;
+    std::size_t inflight_dedups_ GUARDED_BY(mutex_) = 0;
+    std::shared_ptr<ResultCache> second_level_ GUARDED_BY(mutex_);
 
-    // Async submission state (all guarded by mutex_).
-    std::deque<AsyncTask> queue_;
+    // Async submission state.
+    std::deque<AsyncTask> queue_ GUARDED_BY(mutex_);
     /** Keys being computed by a worker -> promises of piggybacked
      *  submits waiting for that computation. */
-    std::map<std::string, std::vector<std::promise<RunResult>>> inflight_;
-    std::vector<std::thread> workers_;
-    std::condition_variable queue_cv_;
-    bool stopping_ = false;
+    std::map<std::string, std::vector<std::promise<RunResult>>>
+        inflight_ GUARDED_BY(mutex_);
+    std::vector<std::thread> workers_ GUARDED_BY(mutex_);
+    util::CondVar queue_cv_;
+    bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace prosperity

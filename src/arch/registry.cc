@@ -169,7 +169,7 @@ AcceleratorRegistry::add(const std::string& name,
 {
     PROSPERITY_ASSERT(factory != nullptr, "null accelerator factory");
     const std::string canonical = canonicalName(name);
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const Entry& entry : entries_)
         if (entry.name == canonical)
             return false;
@@ -193,7 +193,7 @@ AcceleratorRegistry::create(const std::string& name,
 {
     Factory factory;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (const Entry* entry = find(name))
             factory = entry->factory;
     }
@@ -216,14 +216,14 @@ AcceleratorRegistry::create(const std::string& name,
 bool
 AcceleratorRegistry::contains(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return find(name) != nullptr;
 }
 
 std::vector<std::string>
 AcceleratorRegistry::names() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const Entry& entry : entries_)
@@ -234,7 +234,7 @@ AcceleratorRegistry::names() const
 std::string
 AcceleratorRegistry::description(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const Entry* entry = find(name);
     return entry ? entry->description : std::string{};
 }

@@ -24,11 +24,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "arch/accelerator.h"
+#include "util/thread_annotations.h"
 
 namespace prosperity {
 
@@ -125,10 +125,10 @@ class AcceleratorRegistry
         Factory factory;
     };
 
-    const Entry* find(const std::string& name) const;
+    const Entry* find(const std::string& name) const REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::vector<Entry> entries_;
+    mutable util::Mutex mutex_;
+    std::vector<Entry> entries_ GUARDED_BY(mutex_);
 };
 
 /**

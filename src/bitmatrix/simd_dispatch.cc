@@ -15,9 +15,9 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 #include "bitmatrix/simd_tiers.h"
+#include "util/thread_annotations.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <cpuid.h>
@@ -158,8 +158,11 @@ autoSelect()
     return bestTableAtOrBelow(SimdTier::kAvx512);
 }
 
+/** The published table: lock-free fast path for every kernel call. */
 std::atomic<const SimdOps*> g_active{nullptr};
-std::mutex g_select_mutex;
+/** Serializes tier (re)selection — the one-time install and the
+ *  test-only setSimdTier/resetSimdTier overrides. */
+util::Mutex g_select_mutex;
 
 } // namespace
 
@@ -169,7 +172,7 @@ simdOps()
     const SimdOps* ops = g_active.load(std::memory_order_acquire);
     if (ops != nullptr)
         return *ops;
-    std::lock_guard<std::mutex> lock(g_select_mutex);
+    util::MutexLock lock(g_select_mutex);
     ops = g_active.load(std::memory_order_acquire);
     if (ops == nullptr) {
         ops = autoSelect();
@@ -222,14 +225,14 @@ parseSimdTier(const std::string& name)
 bool
 simdTierAvailable(SimdTier tier)
 {
-    std::lock_guard<std::mutex> lock(g_select_mutex);
+    util::MutexLock lock(g_select_mutex);
     return tierTable(tier) != nullptr;
 }
 
 std::vector<SimdTier>
 availableSimdTiers()
 {
-    std::lock_guard<std::mutex> lock(g_select_mutex);
+    util::MutexLock lock(g_select_mutex);
     std::vector<SimdTier> tiers;
     for (int t = 0; t <= static_cast<int>(SimdTier::kAvx512); ++t)
         if (tierTable(static_cast<SimdTier>(t)) != nullptr)
@@ -240,7 +243,7 @@ availableSimdTiers()
 bool
 setSimdTier(SimdTier tier)
 {
-    std::lock_guard<std::mutex> lock(g_select_mutex);
+    util::MutexLock lock(g_select_mutex);
     const SimdOps* ops = tierTable(tier);
     if (ops == nullptr)
         return false;
@@ -251,7 +254,7 @@ setSimdTier(SimdTier tier)
 void
 resetSimdTier()
 {
-    std::lock_guard<std::mutex> lock(g_select_mutex);
+    util::MutexLock lock(g_select_mutex);
     g_active.store(autoSelect(), std::memory_order_release);
 }
 

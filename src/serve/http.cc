@@ -430,7 +430,7 @@ HttpServer::stop()
         // Flip the flag under the queue mutex: a worker between its
         // predicate check and blocking in wait() must not miss the
         // notification (same discipline as ~SimulationEngine).
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         stopping_ = true;
     }
     queue_cv_.notify_all();
@@ -440,7 +440,7 @@ HttpServer::stop()
         worker.join();
     workers_.clear();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         for (const int fd : pending_fds_)
             net::closeFd(fd);
         pending_fds_.clear();
@@ -467,7 +467,7 @@ HttpServer::acceptLoop()
             continue;
         ++connections_accepted_;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             pending_fds_.push_back(fd);
         }
         queue_cv_.notify_one();
@@ -480,10 +480,9 @@ HttpServer::workerLoop()
     for (;;) {
         int fd = net::kInvalidFd;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            queue_cv_.wait(lock, [this] {
-                return stopping_ || !pending_fds_.empty();
-            });
+            util::UniqueLock lock(mutex_);
+            while (!stopping_ && pending_fds_.empty())
+                queue_cv_.wait(lock);
             if (pending_fds_.empty())
                 return; // stopping, nothing queued
             fd = pending_fds_.front();

@@ -24,18 +24,17 @@
 #define PROSPERITY_SERVE_HTTP_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/json.h"
+#include "util/thread_annotations.h"
 
 namespace prosperity::serve {
 
@@ -149,8 +148,8 @@ class HttpServer
     std::uint64_t requestsServed() const { return requests_served_; }
 
   private:
-    void acceptLoop();
-    void workerLoop();
+    void acceptLoop() EXCLUDES(mutex_);
+    void workerLoop() EXCLUDES(mutex_);
     void serveConnection(int fd);
 
     HttpServerOptions options_;
@@ -164,10 +163,10 @@ class HttpServer
     std::atomic<std::uint64_t> requests_served_{0};
 
     std::thread acceptor_;
-    std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable queue_cv_;
-    std::deque<int> pending_fds_;
+    std::vector<std::thread> workers_; ///< touched by start()/stop() only
+    util::Mutex mutex_;
+    util::CondVar queue_cv_;
+    std::deque<int> pending_fds_ GUARDED_BY(mutex_);
 };
 
 /**

@@ -97,7 +97,7 @@ ResultStore::fetch(const std::string& key, RunResult* out)
     const std::string path = pathFor(key);
     std::ifstream is(path);
     if (!is) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         ++stats_.misses;
         return false;
     }
@@ -114,13 +114,13 @@ ResultStore::fetch(const std::string& key, RunResult* out)
         const std::size_t version =
             json::requireSize(entry, "schema_version", context);
         if (version != static_cast<std::size_t>(kSchemaVersion)) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             ++stats_.misses;
             ++stats_.version_mismatch;
             return false; // older/newer format: recompute
         }
         if (json::requireString(entry, "key", context) != key) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             ++stats_.misses;
             return false; // hash collision: treat as absent
         }
@@ -131,7 +131,7 @@ ResultStore::fetch(const std::string& key, RunResult* out)
         *out = runResultFromJson(*result);
     } catch (const std::exception&) {
         const bool truncated = looksTruncated(text.str());
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         ++stats_.misses;
         ++stats_.corrupt_skipped; // invariant: corrupt + truncated
         if (truncated)
@@ -140,7 +140,7 @@ ResultStore::fetch(const std::string& key, RunResult* out)
             ++stats_.corrupt;
         return false;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++stats_.hits;
     return true;
 }
@@ -155,7 +155,7 @@ ResultStore::publish(const std::string& key, const RunResult& result)
 
     std::size_t token = 0;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         token = ++write_token_;
     }
     const std::string path = pathFor(key);
@@ -181,7 +181,7 @@ ResultStore::publish(const std::string& key, const RunResult& result)
         fs::remove(tmp, ec);
         return;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++stats_.writes;
 }
 
@@ -206,14 +206,14 @@ ResultStore::entriesOnDisk() const
 ResultStoreStats
 ResultStore::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return stats_;
 }
 
 ResultCacheHealth
 ResultStore::health() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ResultCacheHealth health;
     health.corrupt = stats_.corrupt;
     health.truncated = stats_.truncated;

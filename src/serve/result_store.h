@@ -31,10 +31,10 @@
 #define PROSPERITY_SERVE_RESULT_STORE_H
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 
 #include "analysis/engine.h"
+#include "util/thread_annotations.h"
 
 namespace prosperity::serve {
 
@@ -101,9 +101,10 @@ class ResultStore : public ResultCache
 
   private:
     std::string dir_;
-    mutable std::mutex mutex_; ///< guards stats_ and the write token
-    ResultStoreStats stats_;
-    std::size_t write_token_ = 0; ///< uniquifies concurrent temp files
+    mutable util::Mutex mutex_;
+    ResultStoreStats stats_ GUARDED_BY(mutex_);
+    /** Uniquifies concurrent temp files. */
+    std::size_t write_token_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace prosperity::serve

@@ -216,7 +216,7 @@ SimulationService::submitRun(const HttpRequest& request)
     SimulationJob job = simulationJobFromJson(body, "run request");
     const std::string id = runId(job);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = records_.find(id);
     if (it != records_.end()) {
         const RecordStatus status = statusOf(it->second);
@@ -254,7 +254,7 @@ SimulationService::submitCampaign(const HttpRequest& request)
     CampaignSpec::CampaignExpansion expansion = spec.expand();
     const std::string id = campaignId(spec);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = records_.find(id);
     if (it != records_.end()) {
         const RecordStatus status = statusOf(it->second);
@@ -307,7 +307,7 @@ SimulationService::submitCampaign(const HttpRequest& request)
 HttpResponse
 SimulationService::jobStatus(const std::string& id) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = records_.find(id);
     if (it == records_.end())
         return HttpResponse::error(404, "unknown job id \"" + id +
@@ -329,7 +329,7 @@ SimulationService::report(const std::string& id,
     // serialize large campaigns) runs outside the service lock.
     JobRecord record;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         const auto it = records_.find(id);
         if (it == records_.end())
             return HttpResponse::error(404, "unknown job id \"" + id +
@@ -450,7 +450,7 @@ SimulationService::statsDocument() const
 
     json::Value service = json::Value::object();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         service.set("records", records_.size());
         service.set("pending", pendingLocked());
         service.set("max_pending", options_.max_pending);

@@ -42,7 +42,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,6 +49,7 @@
 #include "analysis/engine.h"
 #include "serve/http.h"
 #include "serve/result_store.h"
+#include "util/thread_annotations.h"
 
 namespace prosperity::serve {
 
@@ -142,22 +142,23 @@ class SimulationService
     static json::Value statusJson(const JobRecord& record,
                                   const RecordStatus& status);
 
-    /** Unfinished simulations across all records; mutex_ held. */
-    std::size_t pendingLocked() const;
+    /** Unfinished simulations across all records. */
+    std::size_t pendingLocked() const REQUIRES(mutex_);
 
-    /** 429 when admitting `jobs` more would exceed max_pending;
-     *  mutex_ held. Returns true when admission is granted. */
-    bool admitLocked(std::size_t jobs, HttpResponse* rejection) const;
+    /** 429 when admitting `jobs` more would exceed max_pending.
+     *  Returns true when admission is granted. */
+    bool admitLocked(std::size_t jobs, HttpResponse* rejection) const
+        REQUIRES(mutex_);
 
     ServiceOptions options_;
     std::shared_ptr<ResultStore> store_; ///< shared with the engine
     SimulationEngine engine_;
 
-    mutable std::mutex mutex_; ///< guards records_ and the counters
-    std::map<std::string, JobRecord> records_;
-    std::size_t runs_submitted_ = 0;
-    std::size_t campaigns_submitted_ = 0;
-    std::size_t rejected_submits_ = 0;
+    mutable util::Mutex mutex_;
+    std::map<std::string, JobRecord> records_ GUARDED_BY(mutex_);
+    std::size_t runs_submitted_ GUARDED_BY(mutex_) = 0;
+    std::size_t campaigns_submitted_ GUARDED_BY(mutex_) = 0;
+    std::size_t rejected_submits_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace prosperity::serve

@@ -60,7 +60,7 @@ ModelRegistry::add(ModelInfo info)
 {
     PROSPERITY_ASSERT(info.builder != nullptr, "null model builder");
     const std::string key = canonicalKey(info.name);
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const Entry& entry : entries_)
         if (entry.key == key)
             return false;
@@ -79,7 +79,7 @@ ModelRegistry::addDesc(ModelDesc desc, std::string source)
         return desc.lower(input);
     };
     const std::string key = canonicalKey(info.name);
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const Entry& entry : entries_)
         if (entry.key == key)
             return false;
@@ -109,14 +109,14 @@ ModelRegistry::throwUnknown(const std::string& name) const
 bool
 ModelRegistry::contains(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return find(name) != nullptr;
 }
 
 std::vector<std::string>
 ModelRegistry::names() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const Entry& entry : entries_)
@@ -127,7 +127,7 @@ ModelRegistry::names() const
 std::string
 ModelRegistry::description(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const Entry* entry = find(name);
     return entry ? entry->info.description : std::string{};
 }
@@ -135,7 +135,7 @@ ModelRegistry::description(const std::string& name) const
 std::string
 ModelRegistry::displayName(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const Entry* entry = find(name);
     return entry ? entry->info.name : canonicalKey(name);
 }
@@ -146,7 +146,7 @@ ModelRegistry::build(const std::string& name,
 {
     Builder builder;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (const Entry* entry = find(name))
             builder = entry->info.builder;
     }
@@ -160,7 +160,7 @@ ModelRegistry::profileFor(const std::string& model,
                           const std::string& dataset) const
 {
     const std::string dataset_key = DatasetRegistry::canonicalKey(dataset);
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const Entry* entry = find(model);
     if (!entry) {
         // names() locks too; build the roster without re-entering.
@@ -182,7 +182,7 @@ ModelRegistry::profileFor(const std::string& model,
 std::optional<ModelDesc>
 ModelRegistry::desc(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const Entry* entry = find(name);
     return entry ? entry->desc : std::nullopt;
 }
@@ -190,7 +190,7 @@ ModelRegistry::desc(const std::string& name) const
 std::string
 ModelRegistry::sourceOf(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const Entry* entry = find(name);
     return entry ? entry->source : std::string{};
 }
@@ -218,7 +218,7 @@ bool
 DatasetRegistry::add(DatasetInfo info)
 {
     const std::string key = canonicalKey(info.name);
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const Entry& entry : entries_)
         if (entry.key == key)
             return false;
@@ -239,14 +239,14 @@ DatasetRegistry::find(const std::string& name) const
 bool
 DatasetRegistry::contains(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return find(name) != nullptr;
 }
 
 std::vector<std::string>
 DatasetRegistry::names() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const Entry& entry : entries_)
@@ -257,7 +257,7 @@ DatasetRegistry::names() const
 std::string
 DatasetRegistry::description(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const Entry* entry = find(name);
     return entry ? entry->info.description : std::string{};
 }
@@ -265,7 +265,7 @@ DatasetRegistry::description(const std::string& name) const
 std::string
 DatasetRegistry::displayName(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const Entry* entry = find(name);
     return entry ? entry->info.name : canonicalKey(name);
 }
@@ -273,7 +273,7 @@ DatasetRegistry::displayName(const std::string& name) const
 InputConfig
 DatasetRegistry::inputConfig(const std::string& name) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (const Entry* entry = find(name))
         return entry->info.input;
     std::vector<std::string> known;

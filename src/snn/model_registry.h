@@ -30,7 +30,6 @@
 #define PROSPERITY_SNN_MODEL_REGISTRY_H
 
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -39,6 +38,7 @@
 #include "snn/activation_profile.h"
 #include "snn/model_desc.h"
 #include "snn/models.h"
+#include "util/thread_annotations.h"
 
 namespace prosperity {
 
@@ -132,11 +132,13 @@ class ModelRegistry
         std::string source;
     };
 
-    const Entry* find(const std::string& name) const;
-    [[noreturn]] void throwUnknown(const std::string& name) const;
+    const Entry* find(const std::string& name) const REQUIRES(mutex_);
+    /** Throws listing the roster; takes the lock itself (via names()). */
+    [[noreturn]] void throwUnknown(const std::string& name) const
+        EXCLUDES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::vector<Entry> entries_;
+    mutable util::Mutex mutex_;
+    std::vector<Entry> entries_ GUARDED_BY(mutex_);
 };
 
 /** Name -> InputConfig registry for every known dataset. */
@@ -188,10 +190,10 @@ class DatasetRegistry
         DatasetInfo info;
     };
 
-    const Entry* find(const std::string& name) const;
+    const Entry* find(const std::string& name) const REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::vector<Entry> entries_;
+    mutable util::Mutex mutex_;
+    std::vector<Entry> entries_ GUARDED_BY(mutex_);
 };
 
 /** DatasetRegistry::instance().inputConfig(dataset) — the InputConfig

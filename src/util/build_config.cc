@@ -1,0 +1,63 @@
+#include "build_config.h"
+
+namespace prosperity::util {
+
+namespace {
+
+std::string
+compilerString()
+{
+#if defined(__clang__)
+    return "clang " + std::to_string(__clang_major__) + "." +
+           std::to_string(__clang_minor__) + "." +
+           std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+    return "gcc " + std::to_string(__GNUC__) + "." +
+           std::to_string(__GNUC_MINOR__) + "." +
+           std::to_string(__GNUC_PATCHLEVEL__);
+#else
+    return "unknown";
+#endif
+}
+
+} // namespace
+
+BuildConfig
+buildConfig()
+{
+    BuildConfig config;
+#ifdef PROSPERITY_SANITIZE_NAME
+    config.sanitizer = PROSPERITY_SANITIZE_NAME;
+#endif
+    config.compiler = compilerString();
+#if defined(__clang__)
+    config.thread_annotations_active = true;
+#endif
+#ifdef PROSPERITY_THREAD_SAFETY_BUILD
+    config.thread_safety_enforced = true;
+#endif
+#ifndef NDEBUG
+    config.asserts_enabled = true;
+#endif
+    return config;
+}
+
+std::string
+buildConfigSummary()
+{
+    const BuildConfig config = buildConfig();
+    std::string out = "sanitizer=";
+    out += config.sanitizer.empty() ? "none" : config.sanitizer;
+    out += " thread-annotations=";
+    if (!config.thread_annotations_active)
+        out += "no-op";
+    else
+        out += config.thread_safety_enforced ? "enforced" : "active";
+    out += " asserts=";
+    out += config.asserts_enabled ? "on" : "off";
+    out += " compiler=";
+    out += config.compiler;
+    return out;
+}
+
+} // namespace prosperity::util

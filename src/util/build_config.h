@@ -1,0 +1,52 @@
+/**
+ * @file
+ * What analysis modes this binary was actually compiled with — the
+ * build-time twin of the SIMD layer's runtime tier report. `prosperity
+ * serve` and the test harness run under several configurations
+ * (plain, ASan+UBSan, TSan, Clang thread-safety); when a daemon
+ * misbehaves, "which build is this?" is the first question, so
+ * `prosperity_cli list analysis` answers it from the binary itself
+ * instead of trusting whoever launched it.
+ */
+
+#ifndef PROSPERITY_UTIL_BUILD_CONFIG_H
+#define PROSPERITY_UTIL_BUILD_CONFIG_H
+
+#include <string>
+
+namespace prosperity::util {
+
+/** Compile-time analysis configuration of this binary. */
+struct BuildConfig
+{
+    /** PROSPERITY_SANITIZE value this build was configured with
+     *  ("" when unsanitized). */
+    std::string sanitizer;
+
+    /** The compiler that produced the binary ("clang 17.0.1",
+     *  "gcc 12.2.0", ...). */
+    std::string compiler;
+
+    /** True when the thread-safety annotations are live attributes
+     *  (Clang); false when they compiled to no-ops (GCC et al.). */
+    bool thread_annotations_active = false;
+
+    /** True when the build enforced -Werror=thread-safety
+     *  (PROSPERITY_THREAD_SAFETY=ON). */
+    bool thread_safety_enforced = false;
+
+    /** True when NDEBUG was off, i.e. asserts are compiled in. */
+    bool asserts_enabled = false;
+};
+
+/** The configuration baked into this binary. */
+BuildConfig buildConfig();
+
+/** One-line human-readable summary, e.g.
+ *  "sanitizer=thread annotations=active(enforced) compiler=clang 17".
+ */
+std::string buildConfigSummary();
+
+} // namespace prosperity::util
+
+#endif // PROSPERITY_UTIL_BUILD_CONFIG_H

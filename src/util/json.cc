@@ -50,6 +50,7 @@ formatDouble(double v)
     for (int precision = 15; precision <= 17; ++precision) {
         std::ostringstream os;
         os.imbue(std::locale::classic());
+        // lint:allow(double-format) this IS formatDouble, the impl
         os.precision(precision);
         os << v;
         repr = os.str();

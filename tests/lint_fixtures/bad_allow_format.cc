@@ -1,0 +1,13 @@
+// Lint fixture: malformed lint:allow markers — unknown rule, missing
+// reason — are findings themselves (`allow-format`), and a malformed
+// marker does not suppress the violation it sits on. Never compiled.
+
+#include <cstdlib>
+
+int
+badAllowMarkers()
+{
+    int a = rand(); // lint:allow(no-such-rule) bogus rule name -> 2 hits
+    int b = rand(); // lint:allow(rand-source)
+    return a + b;   // ^ missing reason -> allow-format + rand-source
+}

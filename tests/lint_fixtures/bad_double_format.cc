@@ -1,0 +1,29 @@
+// Lint fixture: raw double formatting in a serialization path must
+// trip `double-format`. Never compiled.
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+void
+badPrintf(double v)
+{
+    std::printf("%.6f\n", v); // 1 hit
+}
+
+std::string
+badStream(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << v; // 1 hit
+    return os.str();
+}
+
+std::string
+badFixed(double v)
+{
+    std::ostringstream os;
+    os.precision(9);       // 1 hit
+    os << std::fixed << v; // 1 hit
+    return os.str();
+}

@@ -1,0 +1,27 @@
+// Lint fixture: raw synchronization primitives must trip
+// `naked-mutex` — shared state belongs behind the annotated
+// util::Mutex wrapper. Never compiled.
+
+#ifndef PROSPERITY_TESTS_LINT_FIXTURES_BAD_NAKED_MUTEX_H
+#define PROSPERITY_TESTS_LINT_FIXTURES_BAD_NAKED_MUTEX_H
+
+#include <condition_variable>
+#include <mutex>
+
+class BadCounter
+{
+  public:
+    void increment()
+    {
+        std::lock_guard<std::mutex> lock(mutex_); // 1 hit
+        ++count_;
+        ready_.notify_one();
+    }
+
+  private:
+    std::mutex mutex_;              // 1 hit
+    std::condition_variable ready_; // 1 hit
+    long count_ = 0;
+};
+
+#endif // PROSPERITY_TESTS_LINT_FIXTURES_BAD_NAKED_MUTEX_H

@@ -1,0 +1,27 @@
+// Lint fixture: every line here that reaches for ambient randomness or
+// wall-clock time must trip the `rand-source` rule. Never compiled —
+// scanned by tools/lint/test_determinism_lint.py.
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int
+badSeedFromClock()
+{
+    std::srand(static_cast<unsigned>(time(nullptr))); // 1 hit
+    return rand();                                    // 1 hit
+}
+
+unsigned
+badEntropy()
+{
+    std::random_device device; // 1 hit
+    return device();
+}
+
+long
+badTimestamp()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count(); // 1 hit
+}

@@ -1,0 +1,21 @@
+// Lint fixture: unordered containers in a serialization path must trip
+// `unordered-iteration`. Never compiled.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double
+badReportSum(const std::unordered_map<std::string, double>& cells) // 1 hit
+{
+    double total = 0.0;
+    for (const auto& [name, value] : cells)
+        total += value;
+    return total;
+}
+
+std::size_t
+badRoster(const std::unordered_set<std::string>& names) // 1 hit
+{
+    return names.size();
+}

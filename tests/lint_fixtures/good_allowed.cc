@@ -1,0 +1,19 @@
+// Lint fixture: real violations suppressed by well-formed lint:allow
+// markers — same line and preceding line — must produce zero findings.
+// Never compiled.
+
+#include <cstdio>
+#include <cstdlib>
+
+int
+allowedSameLine()
+{
+    return rand(); // lint:allow(rand-source) fixture exercising inline allow
+}
+
+void
+allowedPrecedingLine(double v)
+{
+    // lint:allow(double-format) fixture exercising preceding-line allow
+    std::printf("%.3e\n", v);
+}

@@ -1,0 +1,21 @@
+// Lint fixture: deterministic, annotated code that must produce zero
+// findings under every rule — including mentions of forbidden names in
+// comments (std::mutex, rand()) and string literals, which the linter
+// strips before matching. Never compiled.
+
+#include <map>
+#include <string>
+
+// Talking about std::random_device or gettimeofday() in prose is fine.
+static const char* kDiagnostic =
+    "call formatDouble(), not printf(\"%g\") or setprecision";
+
+double
+goodOrderedSum(const std::map<std::string, double>& cells)
+{
+    double total = 0.0;
+    for (const auto& [name, value] : cells)
+        total += value;
+    (void)kDiagnostic;
+    return total;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The compiled-in analysis configuration (util/build_config.h) must
+ * faithfully report what this binary was built with — it backs
+ * `prosperity_cli list analysis`, so a daemon's build flavor is
+ * answerable from the binary itself.
+ */
+
+#include "util/build_config.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace prosperity {
+namespace {
+
+TEST(BuildConfig, SanitizerMatchesConfigureTimeValue)
+{
+    const util::BuildConfig config = util::buildConfig();
+#ifdef PROSPERITY_SANITIZE_NAME
+    EXPECT_EQ(config.sanitizer, PROSPERITY_SANITIZE_NAME);
+#else
+    EXPECT_TRUE(config.sanitizer.empty());
+#endif
+}
+
+TEST(BuildConfig, CompilerIsIdentified)
+{
+    const util::BuildConfig config = util::buildConfig();
+    EXPECT_FALSE(config.compiler.empty());
+    EXPECT_NE(config.compiler, "unknown");
+}
+
+TEST(BuildConfig, AnnotationsActiveExactlyUnderClang)
+{
+    const util::BuildConfig config = util::buildConfig();
+#if defined(__clang__)
+    EXPECT_TRUE(config.thread_annotations_active);
+#else
+    EXPECT_FALSE(config.thread_annotations_active);
+    // A non-Clang build can never enforce -Werror=thread-safety.
+    EXPECT_FALSE(config.thread_safety_enforced);
+#endif
+}
+
+TEST(BuildConfig, SummaryMentionsEveryField)
+{
+    const util::BuildConfig config = util::buildConfig();
+    const std::string summary = util::buildConfigSummary();
+    EXPECT_NE(summary.find("sanitizer="), std::string::npos);
+    EXPECT_NE(summary.find("thread-annotations="), std::string::npos);
+    EXPECT_NE(summary.find("asserts="), std::string::npos);
+    EXPECT_NE(summary.find(config.compiler), std::string::npos);
+    if (config.sanitizer.empty())
+        EXPECT_NE(summary.find("sanitizer=none"), std::string::npos);
+    else
+        EXPECT_NE(summary.find("sanitizer=" + config.sanitizer),
+                  std::string::npos);
+}
+
+} // namespace
+} // namespace prosperity

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""clang-tidy over compile_commands.json, with a file-hash result cache.
+
+CI runs clang-tidy as a hard gate (.clang-tidy pins the check set with
+WarningsAsErrors: '*'), but re-tidying every TU on every push is slow.
+This wrapper keys each translation unit's clean verdict on a SHA-256 of
+everything that could change the verdict:
+
+    clang-tidy --version  +  .clang-tidy  +  the TU's bytes
+    +  the aggregate hash of every header in src/ and bench/
+
+so an untouched TU whose verdict is cached is skipped outright, a
+touched TU (or any header/config/toolchain change) re-runs, and only
+CLEAN verdicts are ever cached — findings always re-surface. The cache
+directory (default .clang-tidy-cache/) is what the CI job persists via
+actions/cache.
+
+Exit status: 0 when every TU is clean, 1 when clang-tidy reported
+findings, 2 on setup errors (no compile_commands.json, no clang-tidy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+DEFAULT_PATHS = ("src/", "bench/", "examples/", "tests/")
+
+
+def sha256_file(path: str, hasher: "hashlib._Hash") -> None:
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 16), b""):
+            hasher.update(chunk)
+
+
+def headers_hash(root: str) -> str:
+    """Aggregate hash of every header a TU might include."""
+    hasher = hashlib.sha256()
+    for base in DEFAULT_PATHS:
+        top = os.path.join(root, base)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for name in sorted(filenames):
+                if name.endswith((".h", ".hpp")):
+                    path = os.path.join(dirpath, name)
+                    hasher.update(os.path.relpath(path, root).encode())
+                    sha256_file(path, hasher)
+    return hasher.hexdigest()
+
+
+def tu_key(tu: str, base: str) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(base.encode())
+    hasher.update(tu.encode())
+    sha256_file(tu, hasher)
+    return hasher.hexdigest()
+
+
+def run_one(tidy: str, build_dir: str, tu: str) -> tuple:
+    proc = subprocess.run(
+        [tidy, "--quiet", "-p", build_dir, tu],
+        capture_output=True,
+        text=True,
+    )
+    return tu, proc.returncode, proc.stdout + proc.stderr
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(prog="run_clang_tidy.py")
+    parser.add_argument("--build-dir", default="build",
+                        help="directory holding compile_commands.json")
+    parser.add_argument("--cache-dir", default=".clang-tidy-cache",
+                        help="clean-verdict cache directory")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy executable")
+    parser.add_argument("--jobs", type=int,
+                        default=os.cpu_count() or 1)
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="path prefixes of TUs to tidy "
+                        f"(default: {' '.join(DEFAULT_PATHS)})")
+    args = parser.parse_args(argv)
+
+    root = os.getcwd()
+    tidy = shutil.which(args.clang_tidy)
+    if tidy is None:
+        print(f"run_clang_tidy: {args.clang_tidy} not found",
+              file=sys.stderr)
+        return 2
+    db_path = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"run_clang_tidy: {db_path} missing -- configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 2
+
+    with open(db_path, encoding="utf-8") as f:
+        database = json.load(f)
+    prefixes = tuple(os.path.join(root, p.rstrip("/")) + os.sep
+                     for p in args.paths)
+    tus = sorted({
+        os.path.normpath(
+            entry["file"]
+            if os.path.isabs(entry["file"])
+            else os.path.join(entry["directory"], entry["file"])
+        )
+        for entry in database
+    })
+    tus = [tu for tu in tus if tu.startswith(prefixes)]
+    if not tus:
+        print("run_clang_tidy: no TUs matched", file=sys.stderr)
+        return 2
+
+    version = subprocess.run([tidy, "--version"], capture_output=True,
+                             text=True).stdout
+    config_hasher = hashlib.sha256(version.encode())
+    sha256_file(os.path.join(root, ".clang-tidy"), config_hasher)
+    base = config_hasher.hexdigest() + headers_hash(root)
+
+    os.makedirs(args.cache_dir, exist_ok=True)
+    pending = []
+    cached = 0
+    keys = {}
+    for tu in tus:
+        keys[tu] = tu_key(tu, base)
+        if os.path.exists(os.path.join(args.cache_dir, keys[tu])):
+            cached += 1
+        else:
+            pending.append(tu)
+
+    failed = []
+    if pending:
+        with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+            futures = [pool.submit(run_one, tidy, args.build_dir, tu)
+                       for tu in pending]
+            for future in concurrent.futures.as_completed(futures):
+                tu, code, output = future.result()
+                rel = os.path.relpath(tu, root)
+                if code == 0:
+                    # Cache only clean verdicts: findings re-surface
+                    # on every run until fixed.
+                    with open(os.path.join(args.cache_dir, keys[tu]),
+                              "w", encoding="utf-8") as marker:
+                        marker.write(rel + "\n")
+                    print(f"clean  {rel}")
+                else:
+                    failed.append(rel)
+                    print(f"FAIL   {rel}\n{output}")
+
+    print(f"run_clang_tidy: {len(tus)} TU(s): {cached} cached-clean, "
+          f"{len(pending) - len(failed)} newly clean, "
+          f"{len(failed)} failing", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

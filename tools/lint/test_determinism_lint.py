@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Pin determinism_lint.py's behavior against the checked-in fixtures.
+
+Run as a ctest (lint_determinism_fixtures): every rule must detect its
+known-bad snippet with the exact expected (rule -> count) histogram,
+the known-good snippets must be clean, and the lint:allow escape hatch
+must suppress real findings while malformed markers are findings
+themselves. A linter regression -- a rule that stops firing, an allow
+marker that stops working -- fails tier-1.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+)
+LINTER = os.path.join(ROOT, "tools", "lint", "determinism_lint.py")
+FIXTURES = os.path.join(ROOT, "tests", "lint_fixtures")
+
+# fixture file -> exact {rule: finding count} histogram
+EXPECTED = {
+    "bad_rand_source.cc": {"rand-source": 4},
+    "bad_unordered_iteration.cc": {"unordered-iteration": 2},
+    "bad_double_format.cc": {"double-format": 4},
+    "bad_naked_mutex.h": {"naked-mutex": 3},
+    "bad_allow_format.cc": {"allow-format": 2, "rand-source": 2},
+    "good_clean.cc": {},
+    "good_allowed.cc": {},
+}
+
+failures = []
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    line = f"{'ok' if ok else 'FAIL'}  {label}"
+    if detail and not ok:
+        line += f"  ({detail})"
+    print(line)
+    if not ok:
+        failures.append(label)
+
+
+def run_linter(args: list) -> tuple:
+    with tempfile.NamedTemporaryFile(
+        mode="r", suffix=".json", delete=False
+    ) as tmp:
+        json_path = tmp.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, LINTER, "--quiet", "--json", json_path] + args,
+            capture_output=True,
+            text=True,
+        )
+        with open(json_path, encoding="utf-8") as f:
+            findings = json.load(f)["findings"]
+    finally:
+        os.unlink(json_path)
+    return proc.returncode, findings
+
+
+def main() -> int:
+    for name, expected in sorted(EXPECTED.items()):
+        path = os.path.join(FIXTURES, name)
+        code, findings = run_linter(["--check-file", path])
+        histogram = dict(
+            collections.Counter(f["rule"] for f in findings)
+        )
+        check(
+            f"{name}: rule histogram {expected}",
+            histogram == expected,
+            f"got {histogram}",
+        )
+        check(
+            f"{name}: exit status {1 if expected else 0}",
+            code == (1 if expected else 0),
+            f"got {code}",
+        )
+        for f in findings:
+            check(
+                f"{name}: finding has file/line/snippet",
+                f["file"] == name and f["line"] > 0 and f["snippet"],
+                str(f),
+            )
+
+    # Every rule's bad fixture detects at least one finding -- the
+    # acceptance-criteria floor, independent of the exact counts above.
+    all_rules = {"rand-source", "unordered-iteration", "double-format",
+                 "naked-mutex", "allow-format"}
+    covered = set()
+    for name, expected in EXPECTED.items():
+        covered.update(rule for rule, count in expected.items() if count)
+    check(
+        f"every rule pinned by a bad fixture: {sorted(all_rules)}",
+        covered == all_rules,
+        f"missing {sorted(all_rules - covered)}",
+    )
+
+    # The real tree must be clean -- the same gate CI enforces.
+    code, findings = run_linter(["--root", ROOT])
+    check(
+        "repository tree is lint-clean",
+        code == 0 and not findings,
+        f"exit {code}, {len(findings)} finding(s): "
+        + "; ".join(f"{f['file']}:{f['line']} {f['rule']}" for f in findings[:5]),
+    )
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("\nall linter fixture checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
