@@ -1,6 +1,5 @@
 #include "density.h"
 
-#include <algorithm>
 #include <utility>
 #include <vector>
 

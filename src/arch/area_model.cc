@@ -1,7 +1,6 @@
 #include "area_model.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "arch/sram.h"
 

@@ -1,7 +1,6 @@
 #include "sato.h"
 
 #include <algorithm>
-#include <functional>
 #include <vector>
 
 #include "arch/registry.h"

@@ -1,7 +1,6 @@
 #include "ppu.h"
 
 #include <algorithm>
-#include <cmath>
 #include <vector>
 
 #include "arch/sram.h"

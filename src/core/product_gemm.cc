@@ -1,6 +1,5 @@
 #include "product_gemm.h"
 
-#include <algorithm>
 #include <vector>
 
 #include "sim/logging.h"

@@ -1,6 +1,5 @@
 #include "tile_pipeline.h"
 
-#include <algorithm>
 #include <cmath>
 
 #include "core/detector.h"

@@ -82,8 +82,8 @@ INSTANTIATE_TEST_SUITE_P(AllCampaigns, CampaignGolden,
                          ::testing::Values("smoke", "table1", "table4",
                                            "fig8", "fig9",
                                            "scalability"),
-                         [](const auto& info) {
-                             return std::string(info.param);
+                         [](const auto& param_info) {
+                             return std::string(param_info.param);
                          });
 
 /**
@@ -127,8 +127,8 @@ TEST_P(CampaignGoldenPerTier, SmokeReportIsByteIdenticalUnderForcedTier)
 INSTANTIATE_TEST_SUITE_P(
     AllAvailableTiers, CampaignGoldenPerTier,
     ::testing::ValuesIn(availableSimdTiers()),
-    [](const ::testing::TestParamInfo<SimdTier>& info) {
-        return std::string(simdTierName(info.param));
+    [](const ::testing::TestParamInfo<SimdTier>& param_info) {
+        return std::string(simdTierName(param_info.param));
     });
 
 } // namespace

@@ -268,8 +268,8 @@ TEST_P(SimdKernels, DetectorMatchesNaiveReference)
 INSTANTIATE_TEST_SUITE_P(
     AllAvailableTiers, SimdKernels,
     ::testing::ValuesIn(availableSimdTiers()),
-    [](const ::testing::TestParamInfo<SimdTier>& info) {
-        return std::string(simdTierName(info.param));
+    [](const ::testing::TestParamInfo<SimdTier>& param_info) {
+        return std::string(simdTierName(param_info.param));
     });
 
 TEST(SimdDispatch, TierParsingRoundTrips)
