@@ -10,6 +10,12 @@
  *   actually run, the store gets populated.
  * - **warm-memory**: repeated report fetches against the live daemon —
  *   everything served from the engine's memo cache.
+ * - **open-loop**: N concurrent clients issuing report fetches at a
+ *   fixed arrival rate (requests are scheduled on the clock, not
+ *   gated on responses), measuring latency under load *including*
+ *   queueing delay — the first slice of the ROADMAP saturation load
+ *   generator, and a realistic traffic source for the /metrics
+ *   latency histograms.
  * - **warm-disk**: daemon restarted on the same store directory, same
  *   campaign resubmitted — served from disk, no simulation.
  *
@@ -19,10 +25,11 @@
  * ISSUE's acceptance bar is warm >= 10x cold.
  *
  * Usage: bench_serve [--quick] [--out BENCH_serve.json]
- *        [--requests N] [--store DIR]
+ *        [--requests N] [--store DIR] [--clients N] [--rate R]
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -99,9 +106,10 @@ readFile(const std::string& path)
 }
 
 /** Submit the campaign, poll to completion, fetch the report; returns
- *  the report body. */
+ *  the report body (and the campaign id via `id_out` when wanted). */
 std::string
-driveCampaign(serve::HttpClient& http, const std::string& spec)
+driveCampaign(serve::HttpClient& http, const std::string& spec,
+              std::string* id_out = nullptr)
 {
     const serve::HttpResponse submitted =
         http.post("/v1/campaigns", spec);
@@ -109,6 +117,8 @@ driveCampaign(serve::HttpClient& http, const std::string& spec)
         throw std::runtime_error("submit failed: " + submitted.body);
     const std::string id =
         json::Value::parse(submitted.body).at("id").asString();
+    if (id_out)
+        *id_out = id;
     for (;;) {
         const serve::HttpResponse polled = http.get("/v1/jobs/" + id);
         const std::string status =
@@ -133,7 +143,12 @@ struct Daemon
     std::unique_ptr<serve::SimulationService> service;
     std::unique_ptr<serve::HttpServer> server;
 
-    explicit Daemon(const std::string& store_dir)
+    /** `http_threads` must cover every concurrently open connection:
+     *  keep-alive connections own their worker for their lifetime, so
+     *  an under-provisioned pool starves surplus clients until the
+     *  idle timeout frees a worker (seconds, not microseconds). */
+    explicit Daemon(const std::string& store_dir,
+                    std::size_t http_threads = 2)
     {
         serve::ServiceOptions service_options;
         service_options.store_dir = store_dir;
@@ -141,7 +156,7 @@ struct Daemon
             service_options);
         serve::HttpServerOptions server_options;
         server_options.port = 0;
-        server_options.threads = 2;
+        server_options.threads = http_threads;
         server = std::make_unique<serve::HttpServer>(
             server_options, [this](const serve::HttpRequest& request) {
                 return service->handle(request);
@@ -158,6 +173,8 @@ main(int argc, char** argv)
     bool quick = false;
     std::string out_path = "BENCH_serve.json";
     std::size_t warm_requests = 200;
+    std::size_t open_clients = 4;
+    double open_rate = 50.0; // arrivals per second
     std::string store_dir =
         (fs::temp_directory_path() / "prosperity_bench_serve_store")
             .string();
@@ -169,16 +186,23 @@ main(int argc, char** argv)
             out_path = argv[++i];
         else if (arg == "--requests" && i + 1 < argc)
             warm_requests = std::stoull(argv[++i]);
+        else if (arg == "--clients" && i + 1 < argc)
+            open_clients = std::max<std::size_t>(
+                1, std::stoull(argv[++i]));
+        else if (arg == "--rate" && i + 1 < argc)
+            open_rate = std::max(1.0, std::stod(argv[++i]));
         else if (arg == "--store" && i + 1 < argc)
             store_dir = argv[++i];
         else {
             std::cerr << "usage: bench_serve [--quick] [--out FILE]"
-                         " [--requests N] [--store DIR]\n";
+                         " [--requests N] [--store DIR]"
+                         " [--clients N] [--rate R]\n";
             return 2;
         }
     }
     if (quick)
         warm_requests = std::min<std::size_t>(warm_requests, 50);
+    std::size_t open_requests = quick ? 60 : 200;
 
     const std::string spec =
         readFile(defaultCampaignDir() + "/smoke.json");
@@ -187,9 +211,12 @@ main(int argc, char** argv)
     std::cout << "bench_serve: smoke campaign over loopback HTTP\n";
     std::vector<Phase> phases;
     std::string cold_report;
+    std::string campaign_id;
 
     {
-        Daemon daemon(store_dir);
+        // One worker per open-loop client plus one for the phase-1/2
+        // keep-alive connection, which stays open through phase 3.
+        Daemon daemon(store_dir, open_clients + 1);
         serve::HttpClient http(daemon.server->port());
 
         // Phase 1 — cold: simulations actually run.
@@ -197,7 +224,7 @@ main(int argc, char** argv)
         cold.name = "cold";
         cold.requests = 1;
         const double t0 = bench::nowNs();
-        cold_report = driveCampaign(http, spec);
+        cold_report = driveCampaign(http, spec, &campaign_id);
         const double elapsed = bench::nowNs() - t0;
         cold.seconds = elapsed * 1e-9;
         cold.latencies_ns.push_back(elapsed);
@@ -223,6 +250,68 @@ main(int argc, char** argv)
         std::cout << "  warm-memory: " << warm.requestsPerSec()
                   << " campaigns/s over " << warm.requests
                   << " requests\n";
+
+        // Phase 3 — open-loop: `open_clients` concurrent clients fire
+        // report fetches at `open_rate` arrivals/s. Arrival i is
+        // scheduled at t0 + i/rate on the clock regardless of earlier
+        // responses, and latency is measured from the *scheduled*
+        // start, so a server that falls behind accumulates queueing
+        // delay in the tail percentiles instead of silently slowing
+        // the arrival process (the closed-loop failure mode).
+        Phase open;
+        open.name = "open-loop";
+        open.requests = open_requests;
+        std::vector<std::vector<double>> client_lat(open_clients);
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> failures{0};
+        const double interval_ns = 1e9 / open_rate;
+        const double start_ns = bench::nowNs();
+        std::vector<std::thread> pool;
+        pool.reserve(open_clients);
+        for (std::size_t c = 0; c < open_clients; ++c) {
+            pool.emplace_back([&, c] {
+                serve::HttpClient client(daemon.server->port());
+                for (;;) {
+                    const std::size_t i = next.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (i >= open_requests)
+                        return;
+                    const double scheduled =
+                        start_ns + static_cast<double>(i) * interval_ns;
+                    for (;;) {
+                        const double now = bench::nowNs();
+                        if (now >= scheduled)
+                            break;
+                        std::this_thread::sleep_for(
+                            std::chrono::nanoseconds(
+                                static_cast<long long>(
+                                    scheduled - now)));
+                    }
+                    const serve::HttpResponse response = client.get(
+                        "/v1/reports/" + campaign_id);
+                    client_lat[c].push_back(bench::nowNs() - scheduled);
+                    if (response.status != 200 ||
+                        response.body != cold_report)
+                        failures.fetch_add(1,
+                                           std::memory_order_relaxed);
+                }
+            });
+        }
+        for (std::thread& t : pool)
+            t.join();
+        open.seconds = (bench::nowNs() - start_ns) * 1e-9;
+        for (const std::vector<double>& lat : client_lat)
+            open.latencies_ns.insert(open.latencies_ns.end(),
+                                     lat.begin(), lat.end());
+        if (failures.load() != 0)
+            throw std::runtime_error(
+                "open-loop phase: " + std::to_string(failures.load()) +
+                " responses diverged from the cold report");
+        phases.push_back(open);
+        std::cout << "  open-loop: " << open.requestsPerSec()
+                  << " req/s achieved (" << open_clients
+                  << " clients, " << open_rate << "/s offered), p99 "
+                  << open.percentileNs(99) * 1e-6 << " ms\n";
     }
 
     {
@@ -261,6 +350,9 @@ main(int argc, char** argv)
     config.set("mode", quick ? "quick" : "full");
     config.set("campaign", "smoke");
     config.set("warm_requests", warm_requests);
+    config.set("open_loop_requests", open_requests);
+    config.set("open_loop_clients", open_clients);
+    config.set("open_loop_rate_per_sec", open_rate);
     root.set("config", std::move(config));
     json::Value cases = json::Value::array();
     for (const Phase& phase : phases)

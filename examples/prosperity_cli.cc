@@ -35,14 +35,22 @@
  *       concurrency); --store persists results to a ResultStore
  *       directory shared with the daemon; --quiet replaces the
  *       tables with one summary line of engine cache statistics.
+ *   prosperity_cli campaign --progress <id|spec> [--port P]
+ *       Live progress ticker for a campaign submitted to a running
+ *       daemon: polls GET /v1/campaigns/<id>/progress (cells done,
+ *       jobs done, seeds drawn, elapsed, ETA) until the campaign
+ *       finishes. Accepts a raw "campaign-<hex>" id, or a spec whose
+ *       deterministic id is recomputed locally.
  *   prosperity_cli serve [--port P] [--store DIR] [--threads N]
  *                  [--max-pending N]
  *       Run the simulation-as-a-service HTTP daemon (see
  *       docs/SERVING.md): POST /v1/runs and /v1/campaigns, poll
- *       GET /v1/jobs/<id>, fetch GET /v1/reports/<id>. With --store,
- *       finished results persist to disk and a restarted daemon
- *       serves previously computed traffic without re-running any
- *       simulation.
+ *       GET /v1/jobs/<id>, fetch GET /v1/reports/<id>, watch
+ *       GET /v1/campaigns/<id>/progress, scrape GET /metrics
+ *       (Prometheus text exposition; docs/OBSERVABILITY.md). With
+ *       --store, finished results persist to disk and a restarted
+ *       daemon serves previously computed traffic without re-running
+ *       any simulation.
  *
  * Accelerators, models and datasets are all constructed by name
  * through their registries and simulated through the SimulationEngine,
@@ -108,6 +116,8 @@ usage()
         << "  prosperity_cli campaign <spec.json> [--out report.json]"
            " [--csv-out report.csv] [--quiet] [--threads N]"
            " [--seeds N] [--store DIR]\n"
+        << "  prosperity_cli campaign --progress <id|spec>"
+           " [--port P]\n"
         << "  prosperity_cli serve [--port P] [--store DIR]"
            " [--threads N] [--max-pending N]\n"
         << "global flags: --simd scalar|sse2|avx2|avx512 (force the"
@@ -395,17 +405,113 @@ cmdDensity(const Workload& workload, bool two_prefix)
     return 0;
 }
 
+/**
+ * `campaign --progress`: live ticker against a running daemon's
+ * GET /v1/campaigns/<id>/progress. `target` is either a raw
+ * "campaign-<hex>" id or a spec (path or checked-in name) whose
+ * deterministic id is recomputed locally — the same bytes hash to the
+ * same id on both sides.
+ */
+int
+cmdCampaignProgress(const std::string& target, std::uint16_t port)
+{
+    std::string id = target;
+    if (target.rfind("campaign-", 0) != 0) {
+        try {
+            const bool bare =
+                target.find('/') == std::string::npos &&
+                target.find(".json") == std::string::npos;
+            const CampaignSpec spec = bare ? loadNamedCampaign(target)
+                                           : CampaignSpec::load(target);
+            id = serve::SimulationService::campaignId(spec);
+        } catch (const std::exception& e) {
+            std::cerr << e.what() << '\n';
+            return 2;
+        }
+    }
+
+    serve::HttpClient client(port);
+    std::string last_line;
+    for (;;) {
+        serve::HttpResponse response;
+        try {
+            response =
+                client.get("/v1/campaigns/" + id + "/progress");
+        } catch (const std::exception& e) {
+            std::cerr << "cannot reach the daemon on 127.0.0.1:"
+                      << port << ": " << e.what() << '\n';
+            return 1;
+        }
+        if (response.status != 200) {
+            std::cerr << "progress poll failed (" << response.status
+                      << "): " << response.body;
+            return 1;
+        }
+        const json::Value doc = json::Value::parse(response.body);
+        const std::string status = doc.at("status").asString();
+
+        std::ostringstream line;
+        line << id << ": " << status << ", cells "
+             << doc.at("cells_done").asNumber() << '/'
+             << doc.at("cells_total").asNumber() << ", jobs "
+             << doc.at("jobs_done").asNumber() << '/'
+             << doc.at("jobs_total").asNumber();
+        if (const json::Value* seeds = doc.find("seeds_drawn"))
+            line << ", seeds " << seeds->asNumber();
+        line << " (elapsed "
+             << Table::num(doc.at("elapsed_seconds").asNumber(), 1)
+             << " s";
+        if (const json::Value* eta = doc.find("eta_seconds"))
+            line << ", eta " << Table::num(eta->asNumber(), 1) << " s";
+        line << ')';
+        // Re-print only on change so an idle poll loop stays quiet.
+        if (line.str() != last_line) {
+            std::cout << line.str() << std::endl;
+            last_line = line.str();
+        }
+
+        if (status == "done")
+            return 0;
+        if (status == "failed") {
+            if (const json::Value* error = doc.find("error"))
+                std::cerr << "campaign failed: " << error->asString()
+                          << '\n';
+            return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    }
+}
+
 int
 cmdCampaign(int argc, char** argv)
 {
     std::string spec_path, out_json, out_csv, store_dir;
     bool quiet = false;
+    bool progress_mode = false;
+    std::uint16_t port = 8080;
     std::size_t threads = 0; // 0 = hardware concurrency
     std::size_t seeds = 0;   // 0 = keep the spec's own sampling
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--progress") {
+            progress_mode = true;
+        } else if (arg == "--port") {
+            if (i + 1 >= argc) {
+                std::cerr << "--port needs a port number\n";
+                return usage();
+            }
+            try {
+                const unsigned long value = std::stoul(argv[++i]);
+                if (value > 65535)
+                    throw std::out_of_range("port");
+                port = static_cast<std::uint16_t>(value);
+            } catch (const std::exception&) {
+                std::cerr << "--port must be 0-65535, got \""
+                          << argv[i] << "\"\n";
+                return 2;
+            }
         } else if (arg == "--threads") {
             if (i + 1 >= argc) {
                 std::cerr << "--threads needs a thread count\n";
@@ -444,6 +550,9 @@ cmdCampaign(int argc, char** argv)
                      "campaign name)\n";
         return usage();
     }
+
+    if (progress_mode)
+        return cmdCampaignProgress(spec_path, port);
 
     CampaignSpec spec;
     try {
@@ -667,7 +776,8 @@ cmdServe(int argc, char** argv)
                                       : std::string("(memory only)"))
                   << "\n  routes: POST /v1/runs, POST /v1/campaigns, "
                      "GET /v1/jobs/<id>, GET /v1/reports/<id>, "
-                     "GET /v1/registry, GET /v1/stats\n"
+                     "GET /v1/campaigns/<id>/progress, "
+                     "GET /v1/registry, GET /v1/stats, GET /metrics\n"
                   << std::flush;
 
         std::signal(SIGINT, onServeSignal);

@@ -710,7 +710,7 @@ json::Value
 CampaignReport::toJson() const
 {
     json::Value root = json::Value::object();
-    root.set("schema_version", 1);
+    root.set("schema_version", kSchemaVersion);
     root.set("campaign", spec.name);
     root.set("spec", spec.toJson());
 

@@ -224,6 +224,10 @@ CampaignSpec loadNamedCampaign(const std::string& name);
 /** Structured outcome of a campaign run. */
 struct CampaignReport
 {
+    /** `schema_version` written into every report JSON; bump on
+     *  incompatible format changes. */
+    static constexpr int kSchemaVersion = 1;
+
     CampaignSpec spec;
     std::vector<CampaignCell> cells; ///< expansion order
 

@@ -2,11 +2,75 @@
 
 #include <atomic>
 #include <exception>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
 namespace prosperity {
+
+namespace {
+
+/**
+ * Engine instruments, resolved once against the global registry.
+ * Recording only accumulates into preallocated atomics; nothing reads
+ * these values back into the engine, so simulation output is
+ * provably independent of them (see docs/OBSERVABILITY.md).
+ */
+struct EngineMetrics
+{
+    obs::Counter& jobs_simulated;
+    obs::Counter& jobs_memo_hit;
+    obs::Counter& jobs_store_hit;
+    obs::Counter& jobs_inflight_dedup;
+    obs::Histogram& queue_wait;
+    obs::Histogram& simulate_seconds;
+    obs::Gauge& queue_depth;
+    obs::Gauge& in_flight;
+    obs::Gauge& threads;
+};
+
+EngineMetrics&
+engineMetrics()
+{
+    static constexpr const char* kJobsName = "prosperity_engine_jobs_total";
+    static constexpr const char* kJobsHelp =
+        "Engine jobs by outcome (simulated, memo_hit, store_hit, "
+        "inflight_dedup)";
+    static EngineMetrics metrics{
+        obs::MetricsRegistry::global().counter(
+            kJobsName, kJobsHelp, {{"outcome", "simulated"}}),
+        obs::MetricsRegistry::global().counter(
+            kJobsName, kJobsHelp, {{"outcome", "memo_hit"}}),
+        obs::MetricsRegistry::global().counter(
+            kJobsName, kJobsHelp, {{"outcome", "store_hit"}}),
+        obs::MetricsRegistry::global().counter(
+            kJobsName, kJobsHelp, {{"outcome", "inflight_dedup"}}),
+        obs::MetricsRegistry::global().histogram(
+            "prosperity_engine_queue_wait_seconds",
+            "Async submit(): enqueue to worker dequeue",
+            obs::latencyBuckets()),
+        obs::MetricsRegistry::global().histogram(
+            "prosperity_engine_simulate_seconds",
+            "Wall time of one simulation group (sum == busy seconds)",
+            obs::latencyBuckets()),
+        obs::MetricsRegistry::global().gauge(
+            "prosperity_engine_queue_depth",
+            "Async tasks enqueued but not yet claimed by a worker"),
+        obs::MetricsRegistry::global().gauge(
+            "prosperity_engine_in_flight",
+            "Simulations currently executing"),
+        obs::MetricsRegistry::global().gauge(
+            "prosperity_engine_threads",
+            "Configured worker-pool size"),
+    };
+    return metrics;
+}
+
+} // namespace
 
 bool
 operator==(const AcceleratorSpec& a, const AcceleratorSpec& b)
@@ -22,6 +86,7 @@ SimulationEngine::SimulationEngine(EngineOptions options)
         const unsigned hw = std::thread::hardware_concurrency();
         options_.threads = hw == 0 ? 1 : hw;
     }
+    engineMetrics().threads.set(static_cast<double>(options_.threads));
 }
 
 SimulationEngine::~SimulationEngine()
@@ -107,6 +172,10 @@ SimulationEngine::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        EngineMetrics& metrics = engineMetrics();
+        metrics.queue_depth.sub(1.0);
+        metrics.queue_wait.observe(
+            obs::elapsedSeconds(task.enqueued_ns, obs::monotonicNanos()));
 
         try {
             // Memory cache missed at submit time; the second-level
@@ -124,14 +193,21 @@ SimulationEngine::workerLoop()
                 second_level->fetch(task.key, &result))
                 from_second_level = true;
 
-            if (!from_second_level) {
+            if (from_second_level) {
+                metrics.jobs_store_hit.add();
+            } else {
                 AcceleratorRegistry& registry =
                     AcceleratorRegistry::instance();
                 std::unique_ptr<Accelerator> accel = registry.create(
                     task.job.accelerator.name,
                     task.job.accelerator.params);
+                obs::GaugeGuard busy(metrics.in_flight);
+                const std::uint64_t start_ns = obs::monotonicNanos();
                 result = runWorkload(*accel, task.job.workload,
                                      task.job.options);
+                metrics.simulate_seconds.observe(obs::elapsedSeconds(
+                    start_ns, obs::monotonicNanos()));
+                metrics.jobs_simulated.add();
             }
 
             std::vector<std::promise<RunResult>> waiters;
@@ -179,26 +255,31 @@ SimulationEngine::submit(const SimulationJob& job)
     std::promise<RunResult> promise;
     std::future<RunResult> future = promise.get_future();
     std::string key = jobKey(job);
+    EngineMetrics& metrics = engineMetrics();
     {
         util::UniqueLock lock(mutex_);
         if (options_.memoize) {
             const auto cached = cache_.find(key);
             if (cached != cache_.end()) {
                 ++cache_hits_;
+                metrics.jobs_memo_hit.add();
                 promise.set_value(cached->second);
                 return future;
             }
             const auto computing = inflight_.find(key);
             if (computing != inflight_.end()) {
                 ++inflight_dedups_;
+                metrics.jobs_inflight_dedup.add();
                 computing->second.push_back(std::move(promise));
                 return future;
             }
             inflight_.emplace(key,
                               std::vector<std::promise<RunResult>>{});
         }
-        queue_.push_back(
-            AsyncTask{job, std::move(key), std::move(promise)});
+        queue_.push_back(AsyncTask{job, std::move(key),
+                                   std::move(promise),
+                                   obs::monotonicNanos()});
+        metrics.queue_depth.add(1.0);
         ensureWorkersLocked();
     }
     queue_cv_.notify_one();
@@ -222,6 +303,7 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
     std::vector<std::string> keys(jobs.size());
     std::map<std::string, std::size_t> unique_index;
     std::map<std::string, RunResult> snapshot; // cache hits, this batch
+    std::set<std::string> store_keys; // snapshot entries the disk served
     std::vector<const SimulationJob*> pending;  // jobs to simulate
     std::vector<std::string> pending_keys;
     std::shared_ptr<ResultCache> second_level;
@@ -248,6 +330,7 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
         if (second_level) {
             RunResult stored;
             if (second_level->fetch(keys[i], &stored)) {
+                store_keys.insert(keys[i]);
                 {
                     util::MutexLock lock(mutex_);
                     cache_.emplace(keys[i], stored);
@@ -313,8 +396,14 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
             lineup.push_back(owned.back().get());
         }
         const SimulationJob& lead = *pending[group.front()];
+        EngineMetrics& metrics = engineMetrics();
+        obs::GaugeGuard busy(metrics.in_flight);
+        const std::uint64_t start_ns = obs::monotonicNanos();
         std::vector<RunResult> results =
             runWorkloadOnAll(lineup, lead.workload, lead.options);
+        metrics.simulate_seconds.observe(
+            obs::elapsedSeconds(start_ns, obs::monotonicNanos()));
+        metrics.jobs_simulated.add(group.size());
         for (std::size_t k = 0; k < group.size(); ++k)
             computed[group[k]] = std::move(results[k]);
     };
@@ -368,6 +457,10 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
             if (slot == kCached) {
                 results[i] = snapshot.at(keys[i]);
                 ++cache_hits_;
+                if (store_keys.count(keys[i]))
+                    engineMetrics().jobs_store_hit.add();
+                else
+                    engineMetrics().jobs_memo_hit.add();
             } else {
                 results[i] = computed[slot];
             }

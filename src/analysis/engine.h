@@ -20,6 +20,7 @@
 #ifndef PROSPERITY_ANALYSIS_ENGINE_H
 #define PROSPERITY_ANALYSIS_ENGINE_H
 
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
@@ -252,6 +253,9 @@ class SimulationEngine
         SimulationJob job;
         std::string key;
         std::promise<RunResult> promise;
+        /** obs::monotonicNanos() at enqueue; feeds the queue-wait
+         *  histogram and nothing else (results never depend on it). */
+        std::uint64_t enqueued_ns = 0;
     };
 
     /** Start the worker pool if needed. */

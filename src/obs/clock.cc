@@ -1,0 +1,16 @@
+#include "clock.h"
+
+#include <chrono>
+
+namespace prosperity::obs {
+
+std::uint64_t
+monotonicNanos()
+{
+    // lint:allow(rand-source) the one sanctioned wall-clock read; metrics only
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+} // namespace prosperity::obs

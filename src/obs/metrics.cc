@@ -1,0 +1,269 @@
+#include "metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/clock.h"
+#include "util/json.h"
+
+namespace prosperity::obs {
+
+namespace {
+
+/** Escape a label value per the Prometheus text format. */
+std::string
+escapeLabelValue(const std::string& value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c; break;
+        }
+    }
+    return out;
+}
+
+/** Render `{k1="v1",k2="v2"}`, or "" for an empty label set. */
+std::string
+renderLabels(const LabelSet& labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += key;
+        out += "=\"";
+        out += escapeLabelValue(value);
+        out += "\"";
+    }
+    out += "}";
+    return out;
+}
+
+/** As renderLabels, with `le="<bound>"` appended inside the braces. */
+std::string
+renderLabelsWithLe(const LabelSet& labels, const std::string& le)
+{
+    std::string out = "{";
+    for (const auto& [key, value] : labels) {
+        out += key;
+        out += "=\"";
+        out += escapeLabelValue(value);
+        out += "\",";
+    }
+    out += "le=\"";
+    out += le;
+    out += "\"}";
+    return out;
+}
+
+const char*
+kindName(bool is_counter, bool is_gauge)
+{
+    if (is_counter)
+        return "counter";
+    return is_gauge ? "gauge" : "histogram";
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+{
+    if (bounds_.empty())
+        throw std::runtime_error("obs: histogram needs at least one bucket bound");
+    for (std::size_t i = 1; i < bounds_.size(); ++i)
+        if (!(bounds_[i - 1] < bounds_[i]))
+            throw std::runtime_error(
+                "obs: histogram bounds must be strictly increasing");
+}
+
+void
+Histogram::observe(double value)
+{
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot snap;
+    snap.bounds = bounds_;
+    snap.buckets.resize(buckets_.size());
+    snap.count = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+        snap.count += snap.buckets[i];
+    }
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    return snap;
+}
+
+std::vector<double>
+latencyBuckets(int lo_exp, int hi_exp)
+{
+    if (lo_exp >= hi_exp)
+        throw std::runtime_error("obs: latencyBuckets needs lo_exp < hi_exp");
+    std::vector<double> bounds;
+    bounds.reserve(static_cast<std::size_t>(hi_exp - lo_exp) * 3 + 1);
+    for (int e = lo_exp; e < hi_exp; ++e)
+        for (double mantissa : {1.0, 2.0, 5.0})
+            bounds.push_back(mantissa * std::pow(10.0, e));
+    bounds.push_back(std::pow(10.0, hi_exp));
+    return bounds;
+}
+
+ScopedTimer::ScopedTimer(Histogram& histogram)
+    : histogram_(histogram), start_ns_(monotonicNanos())
+{
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    histogram_.observe(elapsedSeconds(start_ns_, monotonicNanos()));
+}
+
+MetricsRegistry&
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+MetricsRegistry::Family&
+MetricsRegistry::familyLocked(const std::string& name, Kind kind,
+                              const std::string& help,
+                              const std::vector<double>* bounds)
+{
+    auto [it, inserted] = families_.try_emplace(name);
+    Family& family = it->second;
+    if (inserted) {
+        family.kind = kind;
+        family.help = help;
+        if (bounds != nullptr)
+            family.bounds = *bounds;
+        return family;
+    }
+    if (family.kind != kind)
+        throw std::runtime_error("obs: metric '" + name +
+                                 "' re-registered with a different type");
+    if (bounds != nullptr && family.bounds != *bounds)
+        throw std::runtime_error("obs: histogram '" + name +
+                                 "' re-registered with different bounds");
+    return family;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name, const std::string& help,
+                         const LabelSet& labels)
+{
+    util::MutexLock lock(mutex_);
+    Family& family = familyLocked(name, Kind::kCounter, help, nullptr);
+    Series& series = family.series[renderLabels(labels)];
+    if (!series.counter) {
+        series.labels = labels;
+        series.counter = std::make_unique<Counter>();
+    }
+    return *series.counter;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                       const LabelSet& labels)
+{
+    util::MutexLock lock(mutex_);
+    Family& family = familyLocked(name, Kind::kGauge, help, nullptr);
+    Series& series = family.series[renderLabels(labels)];
+    if (!series.gauge) {
+        series.labels = labels;
+        series.gauge = std::make_unique<Gauge>();
+    }
+    return *series.gauge;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                           const std::vector<double>& bounds,
+                           const LabelSet& labels)
+{
+    util::MutexLock lock(mutex_);
+    Family& family = familyLocked(name, Kind::kHistogram, help, &bounds);
+    Series& series = family.series[renderLabels(labels)];
+    if (!series.histogram) {
+        series.labels = labels;
+        series.histogram = std::make_unique<Histogram>(bounds);
+    }
+    return *series.histogram;
+}
+
+void
+MetricsRegistry::renderPrometheus(std::ostream& out) const
+{
+    util::MutexLock lock(mutex_);
+    for (const auto& [name, family] : families_) {
+        out << "# HELP " << name << " " << family.help << "\n";
+        out << "# TYPE " << name << " "
+            << kindName(family.kind == Kind::kCounter,
+                        family.kind == Kind::kGauge)
+            << "\n";
+        for (const auto& [rendered, series] : family.series) {
+            switch (family.kind) {
+            case Kind::kCounter:
+                out << name << rendered << " " << series.counter->value()
+                    << "\n";
+                break;
+            case Kind::kGauge:
+                out << name << rendered << " "
+                    << json::formatDouble(series.gauge->value()) << "\n";
+                break;
+            case Kind::kHistogram: {
+                const Histogram::Snapshot snap = series.histogram->snapshot();
+                std::uint64_t cumulative = 0;
+                for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+                    cumulative += snap.buckets[i];
+                    out << name << "_bucket"
+                        << renderLabelsWithLe(
+                               series.labels,
+                               json::formatDouble(snap.bounds[i]))
+                        << " " << cumulative << "\n";
+                }
+                cumulative += snap.buckets.back();
+                out << name << "_bucket"
+                    << renderLabelsWithLe(series.labels, "+Inf") << " "
+                    << cumulative << "\n";
+                out << name << "_sum" << rendered << " "
+                    << json::formatDouble(snap.sum) << "\n";
+                out << name << "_count" << rendered << " " << snap.count
+                    << "\n";
+                break;
+            }
+            }
+        }
+    }
+}
+
+std::string
+MetricsRegistry::renderPrometheus() const
+{
+    std::ostringstream out;
+    renderPrometheus(out);
+    return out.str();
+}
+
+} // namespace prosperity::obs

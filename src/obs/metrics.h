@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Process-wide metrics: named counters, gauges, and fixed-bucket
+ * latency histograms with Prometheus text exposition.
+ *
+ * Design constraints, in order:
+ *
+ *  1. **Inert.** Nothing here feeds back into simulation: instruments
+ *     only accumulate, and the registry is only read by `/metrics`.
+ *     Golden reports and thread-count determinism pins are unaffected
+ *     by recording (CI pins this).
+ *  2. **Lock-cheap record path.** `Counter::add`, `Gauge::set`, and
+ *     `Histogram::observe` touch only preallocated atomics — no
+ *     allocation, no mutex, no syscalls. The registry mutex guards
+ *     registration and exposition only.
+ *  3. **Consistent snapshots.** A histogram snapshot derives its
+ *     `count` from the bucket reads it just took, so `sum(buckets)`
+ *     always equals `count` even while recorders race the reader.
+ *
+ * Instruments are owned by the registry and live for the life of the
+ * process; call sites hold plain references (typically in a
+ * function-local static struct) so steady-state recording never
+ * touches the registry again.
+ */
+
+#ifndef PROSPERITY_OBS_METRICS_H
+#define PROSPERITY_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace prosperity::obs {
+
+/** Ordered key/value pairs identifying one series within a family. */
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(const Counter&) = delete;
+    Counter& operator=(const Counter&) = delete;
+
+    void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Instantaneous level that can move both ways. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    Gauge(const Gauge&) = delete;
+    Gauge& operator=(const Gauge&) = delete;
+
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    void add(double delta)
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+
+    void sub(double delta) { add(-delta); }
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** RAII +1/-1 on a gauge: exception-safe in-flight tracking. */
+class GaugeGuard
+{
+  public:
+    explicit GaugeGuard(Gauge& gauge) : gauge_(gauge) { gauge_.add(1.0); }
+    ~GaugeGuard() { gauge_.sub(1.0); }
+    GaugeGuard(const GaugeGuard&) = delete;
+    GaugeGuard& operator=(const GaugeGuard&) = delete;
+
+  private:
+    Gauge& gauge_;
+};
+
+/**
+ * Fixed-bucket histogram. Bounds are upper edges (Prometheus `le`
+ * semantics: a value lands in the first bucket whose bound is >= it);
+ * one extra overflow bucket catches everything above the last bound.
+ */
+class Histogram
+{
+  public:
+    /** Bounds must be strictly increasing and non-empty. */
+    explicit Histogram(std::vector<double> bounds);
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    /** Record one value. Wait-free: bound search + two fetch_adds. */
+    void observe(double value);
+
+    /** Point-in-time read of the histogram. */
+    struct Snapshot
+    {
+        /** Upper bucket edges (same vector the histogram was built with). */
+        std::vector<double> bounds;
+        /** Per-bucket counts; size == bounds.size() + 1 (last = overflow). */
+        std::vector<std::uint64_t> buckets;
+        /** Total observations == sum of `buckets` (always consistent). */
+        std::uint64_t count = 0;
+        /** Sum of observed values; may trail `count` by in-flight updates. */
+        double sum = 0.0;
+    };
+
+    Snapshot snapshot() const;
+
+    const std::vector<double>& bounds() const { return bounds_; }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::atomic<double> sum_{0.0};
+};
+
+/**
+ * Default latency bounds: 1-2-5 per decade from 10^lo_exp to
+ * 10^hi_exp seconds inclusive, e.g. (-6, 1) gives 1us .. 10s.
+ */
+std::vector<double> latencyBuckets(int lo_exp = -6, int hi_exp = 1);
+
+/** Records scope duration into a histogram on destruction. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram& histogram);
+    ~ScopedTimer();
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  private:
+    Histogram& histogram_;
+    std::uint64_t start_ns_;
+};
+
+/**
+ * Registry of named instrument families. A family is (name, type,
+ * help, [bounds]); each LabelSet within it is a distinct series.
+ * Re-requesting the same (name, labels) returns the same instrument;
+ * requesting an existing name with a different type (or different
+ * histogram bounds) throws std::runtime_error. Exposition is sorted
+ * by name then labels, so output is independent of registration
+ * order.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /** The process-wide registry `/metrics` serves. */
+    static MetricsRegistry& global();
+
+    Counter& counter(const std::string& name, const std::string& help,
+                     const LabelSet& labels = {}) EXCLUDES(mutex_);
+    Gauge& gauge(const std::string& name, const std::string& help,
+                 const LabelSet& labels = {}) EXCLUDES(mutex_);
+    Histogram& histogram(const std::string& name, const std::string& help,
+                         const std::vector<double>& bounds,
+                         const LabelSet& labels = {}) EXCLUDES(mutex_);
+
+    /** Prometheus text exposition (version 0.0.4) of every series. */
+    void renderPrometheus(std::ostream& out) const EXCLUDES(mutex_);
+
+    /** Convenience wrapper returning the exposition as a string. */
+    std::string renderPrometheus() const EXCLUDES(mutex_);
+
+  private:
+    enum class Kind
+    {
+        kCounter,
+        kGauge,
+        kHistogram,
+    };
+
+    struct Series
+    {
+        LabelSet labels;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    struct Family
+    {
+        Kind kind = Kind::kCounter;
+        std::string help;
+        std::vector<double> bounds; // histograms only
+        /** Keyed by rendered label string for deterministic order. */
+        std::map<std::string, Series> series;
+    };
+
+    Family& familyLocked(const std::string& name, Kind kind,
+                         const std::string& help,
+                         const std::vector<double>* bounds) REQUIRES(mutex_);
+
+    mutable util::Mutex mutex_;
+    std::map<std::string, Family> families_ GUARDED_BY(mutex_);
+};
+
+} // namespace prosperity::obs
+
+#endif // PROSPERITY_OBS_METRICS_H

@@ -4,11 +4,34 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/socket.h"
 
 namespace prosperity::serve {
 
 namespace {
+
+/** Bump prosperity_http_responses_total{code="<status>"}. The lookup
+ *  takes the registry mutex; that is fine here — the HTTP write path
+ *  is not latency-critical the way the simulation record path is. */
+void
+countResponse(int status)
+{
+    obs::MetricsRegistry::global()
+        .counter("prosperity_http_responses_total",
+                 "HTTP responses by status code",
+                 {{"code", std::to_string(status)}})
+        .add();
+}
+
+obs::Counter&
+connectionsCounter()
+{
+    static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+        "prosperity_http_connections_total",
+        "TCP connections accepted");
+    return counter;
+}
 
 std::string
 toLower(std::string s)
@@ -466,6 +489,7 @@ HttpServer::acceptLoop()
         if (fd == net::kInvalidFd)
             continue;
         ++connections_accepted_;
+        connectionsCounter().add();
         {
             util::MutexLock lock(mutex_);
             pending_fds_.push_back(fd);
@@ -514,6 +538,7 @@ HttpServer::serveConnection(int fd)
             const std::string wire = renderResponse(response, false);
             (void)net::writeAll(fd, wire.data(), wire.size());
             ++requests_served_;
+            countResponse(response.status);
             return;
         }
 
@@ -530,6 +555,7 @@ HttpServer::serveConnection(int fd)
         const bool delivered =
             net::writeAll(fd, wire.data(), wire.size());
         ++requests_served_;
+        countResponse(response.status);
         if (!delivered || !outcome.keep_alive)
             return;
     }

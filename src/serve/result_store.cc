@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "analysis/result_json.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "util/json_schema.h"
 
 namespace prosperity::serve {
@@ -14,6 +16,52 @@ namespace prosperity::serve {
 namespace fs = std::filesystem;
 
 namespace {
+
+/** Store instruments; accumulate-only, never read back (inert). */
+struct StoreMetrics
+{
+    obs::Counter& hits;
+    obs::Counter& misses;
+    obs::Counter& writes;
+    obs::Counter& defect_corrupt;
+    obs::Counter& defect_truncated;
+    obs::Counter& defect_version_mismatch;
+    obs::Histogram& fetch_seconds;
+    obs::Histogram& publish_seconds;
+};
+
+StoreMetrics&
+storeMetrics()
+{
+    static constexpr const char* kDefectsName =
+        "prosperity_store_defects_total";
+    static constexpr const char* kDefectsHelp =
+        "Store entries declined by failure class";
+    static StoreMetrics metrics{
+        obs::MetricsRegistry::global().counter(
+            "prosperity_store_hits_total", "Result store fetch hits"),
+        obs::MetricsRegistry::global().counter(
+            "prosperity_store_misses_total", "Result store fetch misses"),
+        obs::MetricsRegistry::global().counter(
+            "prosperity_store_writes_total",
+            "Result store entries published"),
+        obs::MetricsRegistry::global().counter(
+            kDefectsName, kDefectsHelp, {{"class", "corrupt"}}),
+        obs::MetricsRegistry::global().counter(
+            kDefectsName, kDefectsHelp, {{"class", "truncated"}}),
+        obs::MetricsRegistry::global().counter(
+            kDefectsName, kDefectsHelp, {{"class", "version_mismatch"}}),
+        obs::MetricsRegistry::global().histogram(
+            "prosperity_store_fetch_seconds",
+            "Result store fetch (read + parse + validate), hit or miss",
+            obs::latencyBuckets()),
+        obs::MetricsRegistry::global().histogram(
+            "prosperity_store_publish_seconds",
+            "Result store publish (serialize + write + rename)",
+            obs::latencyBuckets()),
+    };
+    return metrics;
+}
 
 /** FNV-1a 64-bit; `basis` varied to derive two independent halves. */
 std::uint64_t
@@ -94,9 +142,12 @@ ResultStore::pathFor(const std::string& key) const
 bool
 ResultStore::fetch(const std::string& key, RunResult* out)
 {
+    StoreMetrics& metrics = storeMetrics();
+    obs::ScopedTimer timer(metrics.fetch_seconds);
     const std::string path = pathFor(key);
     std::ifstream is(path);
     if (!is) {
+        metrics.misses.add();
         util::MutexLock lock(mutex_);
         ++stats_.misses;
         return false;
@@ -114,12 +165,15 @@ ResultStore::fetch(const std::string& key, RunResult* out)
         const std::size_t version =
             json::requireSize(entry, "schema_version", context);
         if (version != static_cast<std::size_t>(kSchemaVersion)) {
+            metrics.misses.add();
+            metrics.defect_version_mismatch.add();
             util::MutexLock lock(mutex_);
             ++stats_.misses;
             ++stats_.version_mismatch;
             return false; // older/newer format: recompute
         }
         if (json::requireString(entry, "key", context) != key) {
+            metrics.misses.add();
             util::MutexLock lock(mutex_);
             ++stats_.misses;
             return false; // hash collision: treat as absent
@@ -131,6 +185,11 @@ ResultStore::fetch(const std::string& key, RunResult* out)
         *out = runResultFromJson(*result);
     } catch (const std::exception&) {
         const bool truncated = looksTruncated(text.str());
+        metrics.misses.add();
+        if (truncated)
+            metrics.defect_truncated.add();
+        else
+            metrics.defect_corrupt.add();
         util::MutexLock lock(mutex_);
         ++stats_.misses;
         ++stats_.corrupt_skipped; // invariant: corrupt + truncated
@@ -140,6 +199,7 @@ ResultStore::fetch(const std::string& key, RunResult* out)
             ++stats_.corrupt;
         return false;
     }
+    metrics.hits.add();
     util::MutexLock lock(mutex_);
     ++stats_.hits;
     return true;
@@ -148,6 +208,7 @@ ResultStore::fetch(const std::string& key, RunResult* out)
 void
 ResultStore::publish(const std::string& key, const RunResult& result)
 {
+    obs::ScopedTimer timer(storeMetrics().publish_seconds);
     json::Value entry = json::Value::object();
     entry.set("schema_version", kSchemaVersion);
     entry.set("key", key);
@@ -181,6 +242,7 @@ ResultStore::publish(const std::string& key, const RunResult& result)
         fs::remove(tmp, ec);
         return;
     }
+    storeMetrics().writes.add();
     util::MutexLock lock(mutex_);
     ++stats_.writes;
 }

@@ -7,7 +7,9 @@
 #include "analysis/export.h"
 #include "analysis/result_json.h"
 #include "bitmatrix/simd_dispatch.h"
+#include "obs/metrics.h"
 #include "snn/model_registry.h"
+#include "util/build_config.h"
 
 namespace prosperity::serve {
 
@@ -20,6 +22,95 @@ isReady(const std::shared_future<T>& future)
 {
     return future.wait_for(std::chrono::seconds(0)) ==
            std::future_status::ready;
+}
+
+/**
+ * Collapse a request path to its route pattern so per-route latency
+ * histograms stay a small fixed family instead of one series per id.
+ */
+std::string
+routePattern(const std::string& path)
+{
+    if (path == "/metrics" || path == "/v1/registry" ||
+        path == "/v1/stats" || path == "/v1/runs" ||
+        path == "/v1/campaigns")
+        return path;
+    if (path.rfind("/v1/jobs/", 0) == 0)
+        return "/v1/jobs/:id";
+    if (path.rfind("/v1/reports/", 0) == 0)
+        return "/v1/reports/:id";
+    if (path.rfind("/v1/campaigns/", 0) == 0 &&
+        path.size() > 14 + 9 &&
+        path.compare(path.size() - 9, 9, "/progress") == 0)
+        return "/v1/campaigns/:id/progress";
+    return "other";
+}
+
+obs::Histogram&
+routeHistogram(const std::string& route)
+{
+    return obs::MetricsRegistry::global().histogram(
+        "prosperity_http_request_seconds",
+        "Request handling latency by route pattern",
+        obs::latencyBuckets(), {{"route", route}});
+}
+
+/** Service-level scrape-time gauges + admission counter. */
+struct ServiceMetrics
+{
+    obs::Counter& admission_rejected;
+    obs::Gauge& uptime_seconds;
+    obs::Gauge& cache_entries;
+    obs::Gauge& store_entries_on_disk;
+    obs::Gauge& service_records;
+    obs::Gauge& service_pending;
+};
+
+ServiceMetrics&
+serviceMetrics()
+{
+    static ServiceMetrics metrics{
+        obs::MetricsRegistry::global().counter(
+            "prosperity_http_admission_rejected_total",
+            "Submits rejected with 429 by the admission bound"),
+        obs::MetricsRegistry::global().gauge(
+            "prosperity_uptime_seconds",
+            "Seconds since the service was constructed"),
+        obs::MetricsRegistry::global().gauge(
+            "prosperity_engine_cache_entries",
+            "Results held in the in-memory memo cache"),
+        obs::MetricsRegistry::global().gauge(
+            "prosperity_store_entries_on_disk",
+            "Complete entries in the result-store directory"),
+        obs::MetricsRegistry::global().gauge(
+            "prosperity_service_records",
+            "Job records the service is tracking"),
+        obs::MetricsRegistry::global().gauge(
+            "prosperity_service_pending",
+            "Unfinished simulations across all records"),
+    };
+    return metrics;
+}
+
+/** Register the `_info`-style build gauge (value always 1). */
+void
+registerBuildInfoGauge()
+{
+    const util::BuildConfig build = util::buildConfig();
+    obs::MetricsRegistry::global()
+        .gauge("prosperity_build_info",
+               "Build/runtime configuration carried in labels; value "
+               "is always 1",
+               {{"compiler", build.compiler},
+                {"sanitizer",
+                 build.sanitizer.empty() ? "none" : build.sanitizer},
+                {"simd_tier", std::string(simdTierName(activeSimdTier()))},
+                {"thread_annotations",
+                 !build.thread_annotations_active
+                     ? "no-op"
+                     : build.thread_safety_enforced ? "enforced"
+                                                    : "active"}})
+        .set(1.0);
 }
 
 json::Value
@@ -47,6 +138,7 @@ SimulationService::SimulationService(ServiceOptions options)
 {
     if (store_)
         engine_.setResultCache(store_);
+    registerBuildInfoGauge();
 }
 
 std::string
@@ -67,8 +159,14 @@ SimulationService::campaignId(const CampaignSpec& spec)
 HttpResponse
 SimulationService::handle(const HttpRequest& request)
 {
+    obs::ScopedTimer timer(routeHistogram(routePattern(request.path)));
     try {
         const std::string& path = request.path;
+        if (path == "/metrics") {
+            if (request.method != "GET")
+                return HttpResponse::error(405, "use GET " + path);
+            return metricsExposition();
+        }
         if (path == "/v1/registry") {
             if (request.method != "GET")
                 return HttpResponse::error(405, "use GET " + path);
@@ -89,6 +187,14 @@ SimulationService::handle(const HttpRequest& request)
                 return HttpResponse::error(405, "use POST " + path);
             return submitCampaign(request);
         }
+        if (path.rfind("/v1/campaigns/", 0) == 0 &&
+            path.size() > 14 + 9 &&
+            path.compare(path.size() - 9, 9, "/progress") == 0) {
+            if (request.method != "GET")
+                return HttpResponse::error(405, "use GET " + path);
+            return campaignProgress(
+                path.substr(14, path.size() - 14 - 9));
+        }
         if (path.rfind("/v1/jobs/", 0) == 0) {
             if (request.method != "GET")
                 return HttpResponse::error(405, "use GET " + path);
@@ -104,7 +210,8 @@ SimulationService::handle(const HttpRequest& request)
             404, "no route for " + request.method + ' ' + path +
                      " (routes: POST /v1/runs, POST /v1/campaigns, "
                      "GET /v1/jobs/<id>, GET /v1/reports/<id>, "
-                     "GET /v1/registry, GET /v1/stats)");
+                     "GET /v1/campaigns/<id>/progress, "
+                     "GET /v1/registry, GET /v1/stats, GET /metrics)");
     } catch (const json::ParseError& e) {
         return HttpResponse::error(400, e.what());
     } catch (const std::invalid_argument& e) {
@@ -231,6 +338,7 @@ SimulationService::submitRun(const HttpRequest& request)
     HttpResponse rejection;
     if (!admitLocked(1, &rejection)) {
         ++rejected_submits_;
+        serviceMetrics().admission_rejected.add();
         return rejection;
     }
 
@@ -238,6 +346,7 @@ SimulationService::submitRun(const HttpRequest& request)
     record.id = id;
     record.kind = "run";
     record.job = job;
+    record.start_ns = obs::monotonicNanos();
     record.futures.push_back(engine_.submit(job).share());
     ++runs_submitted_;
     const auto [inserted, ok] = records_.emplace(id, std::move(record));
@@ -267,6 +376,7 @@ SimulationService::submitCampaign(const HttpRequest& request)
     HttpResponse rejection;
     if (!admitLocked(expansion.jobs.size(), &rejection)) {
         ++rejected_submits_;
+        serviceMetrics().admission_rejected.add();
         return rejection;
     }
 
@@ -274,6 +384,7 @@ SimulationService::submitCampaign(const HttpRequest& request)
     record.id = id;
     record.kind = "campaign";
     record.spec = std::move(spec);
+    record.start_ns = obs::monotonicNanos();
     if (record.spec.sampling) {
         record.adaptive_seeds =
             std::make_shared<std::atomic<std::size_t>>(0);
@@ -466,7 +577,114 @@ SimulationService::statsDocument() const
     // Which kernel tier every simulation behind this server runs on
     // (tier choice never changes results, only throughput).
     root.set("simd_tier", std::string(simdTierName(activeSimdTier())));
+    root.set("uptime_seconds", uptime_.elapsed());
+
+    json::Value schema_versions = json::Value::object();
+    schema_versions.set("campaign_report", CampaignReport::kSchemaVersion);
+    schema_versions.set("result_store", ResultStore::kSchemaVersion);
+    root.set("schema_versions", std::move(schema_versions));
+
+    const util::BuildConfig build = util::buildConfig();
+    json::Value build_json = json::Value::object();
+    build_json.set("compiler", build.compiler);
+    build_json.set("sanitizer",
+                   build.sanitizer.empty() ? "none" : build.sanitizer);
+    build_json.set("thread_annotations",
+                   std::string(!build.thread_annotations_active
+                                   ? "no-op"
+                                   : build.thread_safety_enforced
+                                         ? "enforced"
+                                         : "active"));
+    build_json.set("asserts_enabled", build.asserts_enabled);
+    root.set("build", std::move(build_json));
     return HttpResponse::json(200, root);
+}
+
+HttpResponse
+SimulationService::campaignProgress(const std::string& id) const
+{
+    JobRecord record;
+    {
+        util::MutexLock lock(mutex_);
+        const auto it = records_.find(id);
+        if (it == records_.end())
+            return HttpResponse::error(404, "unknown job id \"" + id +
+                                                '"');
+        record = it->second;
+    }
+    if (record.kind != "campaign")
+        return HttpResponse::error(
+            404, '"' + id + "\" is a single run, not a campaign; "
+                            "poll /v1/jobs/" + id + " instead");
+
+    const RecordStatus status = statusOf(record);
+    const double elapsed =
+        obs::elapsedSeconds(record.start_ns, obs::monotonicNanos());
+
+    // A cell is done when its (possibly shared) job has finished.
+    // Adaptive campaigns finish all cells together when the stopping
+    // rule fires; until then seeds_drawn is the live signal.
+    const std::size_t cells_total = record.expansion.cells.size();
+    std::size_t cells_done = 0;
+    if (record.adaptive()) {
+        cells_done = status.done() ? cells_total : 0;
+    } else {
+        std::vector<bool> job_done(record.futures.size(), false);
+        for (std::size_t i = 0; i < record.futures.size(); ++i)
+            job_done[i] = isReady(record.futures[i]);
+        for (const CampaignSpec::Cell& cell : record.expansion.cells)
+            if (cell.job_index < job_done.size() &&
+                job_done[cell.job_index])
+                ++cells_done;
+    }
+
+    json::Value root = json::Value::object();
+    root.set("id", record.id);
+    root.set("status", status.name());
+    root.set("cells_total", cells_total);
+    root.set("cells_done", cells_done);
+    root.set("jobs_total", status.total);
+    root.set("jobs_done", status.completed);
+    if (record.adaptive())
+        root.set("seeds_drawn", status.seeds_drawn);
+    root.set("elapsed_seconds", elapsed);
+    // ETA by linear extrapolation over finished jobs; omitted while
+    // nothing has finished and for adaptive campaigns (the stopping
+    // rule decides the total, so extrapolation would be fiction).
+    if (status.done())
+        root.set("eta_seconds", 0.0);
+    else if (!record.adaptive() && status.completed > 0)
+        root.set("eta_seconds",
+                 elapsed *
+                     static_cast<double>(status.total - status.completed) /
+                     static_cast<double>(status.completed));
+    if (status.failed)
+        root.set("error", status.error);
+    root.set("poll", "/v1/jobs/" + record.id);
+    root.set("report", "/v1/reports/" + record.id);
+    return HttpResponse::json(200, root);
+}
+
+HttpResponse
+SimulationService::metricsExposition() const
+{
+    // Refresh the scrape-time gauges before rendering: these are
+    // levels, not events, so they are sampled at exposition time.
+    ServiceMetrics& metrics = serviceMetrics();
+    metrics.uptime_seconds.set(uptime_.elapsed());
+    metrics.cache_entries.set(static_cast<double>(engine_.stats().entries));
+    metrics.store_entries_on_disk.set(
+        store_ ? static_cast<double>(store_->entriesOnDisk()) : 0.0);
+    {
+        util::MutexLock lock(mutex_);
+        metrics.service_records.set(
+            static_cast<double>(records_.size()));
+        metrics.service_pending.set(
+            static_cast<double>(pendingLocked()));
+    }
+    return HttpResponse::text(
+        200, obs::MetricsRegistry::global().renderPrometheus(),
+        "text/plain; version=0.0.4; charset=utf-8");
 }
 
 } // namespace prosperity::serve

@@ -12,7 +12,11 @@
  * | `GET  /v1/reports/<id>`   | fetch the finished report (JSON, or CSV |
  * |                           | via `?format=csv`)                      |
  * | `GET  /v1/registry`       | accelerator / model / dataset rosters   |
- * | `GET  /v1/stats`          | engine + store + admission counters     |
+ * | `GET  /v1/stats`          | engine + store + admission counters,    |
+ * |                           | uptime, schema versions, build config   |
+ * | `GET  /v1/campaigns/<id>/progress` | live cells-done / seeds-drawn  |
+ * |                           | / ETA for a submitted campaign          |
+ * | `GET  /metrics`           | Prometheus text exposition (obs/)       |
  *
  * Job ids are **deterministic**, derived from SimulationEngine::jobKey
  * (runs) or the canonical spec serialization (campaigns): resubmitting
@@ -39,6 +43,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
@@ -47,6 +52,7 @@
 
 #include "analysis/campaign.h"
 #include "analysis/engine.h"
+#include "obs/clock.h"
 #include "serve/http.h"
 #include "serve/result_store.h"
 #include "util/thread_annotations.h"
@@ -110,6 +116,9 @@ class SimulationService
         std::vector<std::shared_future<RunResult>> futures;
         std::shared_future<CampaignReport> adaptive_report;
         std::shared_ptr<std::atomic<std::size_t>> adaptive_seeds;
+        /** obs::monotonicNanos() at submit; feeds the progress route's
+         *  elapsed/ETA fields only, never any report byte. */
+        std::uint64_t start_ns = 0;
 
         bool adaptive() const { return adaptive_report.valid(); }
     };
@@ -137,6 +146,8 @@ class SimulationService
                         const std::string& format) const;
     HttpResponse registryRosters() const;
     HttpResponse statsDocument() const;
+    HttpResponse campaignProgress(const std::string& id) const;
+    HttpResponse metricsExposition() const;
 
     static RecordStatus statusOf(const JobRecord& record);
     static json::Value statusJson(const JobRecord& record,
@@ -153,6 +164,7 @@ class SimulationService
     ServiceOptions options_;
     std::shared_ptr<ResultStore> store_; ///< shared with the engine
     SimulationEngine engine_;
+    obs::Stopwatch uptime_; ///< daemon age for /v1/stats + /metrics
 
     mutable util::Mutex mutex_;
     std::map<std::string, JobRecord> records_ GUARDED_BY(mutex_);

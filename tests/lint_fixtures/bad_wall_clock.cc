@@ -1,0 +1,13 @@
+// Lint fixture: wall-clock reads outside src/obs/.  In fixture mode
+// every rule applies with no path exemptions, so the ::now() line
+// below also trips rand-source (the shared `::now(` pattern) -- the
+// expected histogram is {"wall-clock": 3, "rand-source": 1}.
+#include <chrono>
+
+double elapsed_wall_seconds() {
+  auto start = std::chrono::steady_clock::now();
+  std::chrono::system_clock::time_point deadline{};
+  using fine = std::chrono::high_resolution_clock;
+  (void)deadline;
+  return std::chrono::duration<double>(start - fine::time_point{}).count();
+}

@@ -1,0 +1,9 @@
+// Lint fixture: a justified wall-clock mention suppressed by the
+// escape hatch.  No ::now() call, so rand-source stays quiet; the
+// clock-type mention is covered by the allow marker.
+#include <chrono>
+
+struct Deadline {
+  // lint:allow(wall-clock) type alias only; never read, feeds no result
+  std::chrono::steady_clock::time_point at{};
+};

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the obs metrics subsystem: instrument semantics,
+ * bucket boundaries, snapshot consistency under concurrent recorders,
+ * registry identity rules, and the Prometheus exposition format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace prosperity::obs {
+namespace {
+
+TEST(ObsCounter, AccumulatesRelaxed)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsGauge, SetAddSub)
+{
+    Gauge g;
+    g.set(2.0);
+    g.add(1.5);
+    g.sub(0.5);
+    EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(ObsGaugeGuard, RestoresLevelOnException)
+{
+    Gauge g;
+    try {
+        GaugeGuard guard(g);
+        EXPECT_DOUBLE_EQ(g.value(), 1.0);
+        throw std::runtime_error("boom");
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsHistogram, BucketBoundariesAreInclusiveUpperEdges)
+{
+    Histogram h({1.0, 2.0, 5.0});
+    h.observe(-1.0); // below range -> first bucket
+    h.observe(0.0);  // zero -> first bucket
+    h.observe(1.0);  // == bound -> that bucket (le semantics)
+    h.observe(1.5);
+    h.observe(2.0);
+    h.observe(5.0);
+    h.observe(5.0001); // above last bound -> overflow
+    const Histogram::Snapshot snap = h.snapshot();
+    ASSERT_EQ(snap.buckets.size(), 4u);
+    EXPECT_EQ(snap.buckets[0], 3u);
+    EXPECT_EQ(snap.buckets[1], 2u);
+    EXPECT_EQ(snap.buckets[2], 1u);
+    EXPECT_EQ(snap.buckets[3], 1u);
+    EXPECT_EQ(snap.count, 7u);
+    EXPECT_DOUBLE_EQ(snap.sum, 13.5001);
+}
+
+TEST(ObsHistogram, RejectsDegenerateBounds)
+{
+    EXPECT_THROW(Histogram({}), std::runtime_error);
+    EXPECT_THROW(Histogram({1.0, 1.0}), std::runtime_error);
+    EXPECT_THROW(Histogram({2.0, 1.0}), std::runtime_error);
+}
+
+TEST(ObsHistogram, SnapshotStaysConsistentUnderConcurrentRecorders)
+{
+    Histogram h(latencyBuckets());
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::atomic<bool> done{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&h] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.observe(1e-6 * static_cast<double>(i % 1000));
+        });
+    }
+    std::thread reader([&h, &done] {
+        std::uint64_t last = 0;
+        while (!done.load()) {
+            const Histogram::Snapshot snap = h.snapshot();
+            std::uint64_t total = 0;
+            for (std::uint64_t b : snap.buckets)
+                total += b;
+            // The struct invariant CI leans on: count is derived from
+            // the bucket reads, so it can never disagree with them.
+            EXPECT_EQ(snap.count, total);
+            EXPECT_GE(snap.count, last);
+            last = snap.count;
+        }
+    });
+    for (auto& w : workers)
+        w.join();
+    done.store(true);
+    reader.join();
+    EXPECT_EQ(h.snapshot().count,
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsLatencyBuckets, OneTwoFivePerDecade)
+{
+    const std::vector<double> bounds = latencyBuckets();
+    ASSERT_EQ(bounds.size(), 22u); // 7 decades x {1,2,5} + final 10^1
+    EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+    EXPECT_DOUBLE_EQ(bounds.back(), 10.0);
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+    EXPECT_THROW(latencyBuckets(1, 1), std::runtime_error);
+    EXPECT_THROW(latencyBuckets(2, -2), std::runtime_error);
+}
+
+TEST(ObsScopedTimer, RecordsOneObservation)
+{
+    Histogram h(latencyBuckets());
+    {
+        ScopedTimer timer(h);
+    }
+    const Histogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_GE(snap.sum, 0.0);
+}
+
+TEST(ObsClock, ElapsedSecondsIsClampedAndMonotone)
+{
+    EXPECT_DOUBLE_EQ(elapsedSeconds(10, 10), 0.0);
+    EXPECT_DOUBLE_EQ(elapsedSeconds(20, 10), 0.0);
+    EXPECT_DOUBLE_EQ(elapsedSeconds(0, 1500000000), 1.5);
+    const std::uint64_t a = monotonicNanos();
+    const std::uint64_t b = monotonicNanos();
+    EXPECT_LE(a, b);
+}
+
+TEST(ObsRegistry, SameNameAndLabelsReturnsSameInstrument)
+{
+    MetricsRegistry reg;
+    Counter& a = reg.counter("x_total", "X.", {{"k", "v"}});
+    Counter& b = reg.counter("x_total", "X.", {{"k", "v"}});
+    Counter& c = reg.counter("x_total", "X.", {{"k", "w"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &c);
+    Histogram& h1 = reg.histogram("h_seconds", "H.", {1.0, 2.0});
+    Histogram& h2 = reg.histogram("h_seconds", "H.", {1.0, 2.0});
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+TEST(ObsRegistry, RejectsTypeAndBoundsConflicts)
+{
+    MetricsRegistry reg;
+    reg.counter("x_total", "X.");
+    EXPECT_THROW(reg.gauge("x_total", "X."), std::runtime_error);
+    reg.histogram("h_seconds", "H.", {1.0, 2.0});
+    EXPECT_THROW(reg.histogram("h_seconds", "H.", {1.0, 3.0}),
+                 std::runtime_error);
+    EXPECT_THROW(reg.counter("h_seconds", "H."), std::runtime_error);
+}
+
+TEST(ObsExposition, GoldenText)
+{
+    MetricsRegistry reg;
+    reg.counter("test_events_total", "Events by kind.", {{"kind", "a"}})
+        .add(3);
+    reg.counter("test_events_total", "Events by kind.", {{"kind", "b"}})
+        .add(1);
+    reg.gauge("test_level", "Current level.").set(2.5);
+    Histogram& h = reg.histogram("test_lat_seconds", "Latency.", {0.5, 2.0});
+    h.observe(0.25);
+    h.observe(1.0);
+    h.observe(8.0);
+    const std::string expected =
+        "# HELP test_events_total Events by kind.\n"
+        "# TYPE test_events_total counter\n"
+        "test_events_total{kind=\"a\"} 3\n"
+        "test_events_total{kind=\"b\"} 1\n"
+        "# HELP test_lat_seconds Latency.\n"
+        "# TYPE test_lat_seconds histogram\n"
+        "test_lat_seconds_bucket{le=\"0.5\"} 1\n"
+        "test_lat_seconds_bucket{le=\"2\"} 2\n"
+        "test_lat_seconds_bucket{le=\"+Inf\"} 3\n"
+        "test_lat_seconds_sum 9.25\n"
+        "test_lat_seconds_count 3\n"
+        "# HELP test_level Current level.\n"
+        "# TYPE test_level gauge\n"
+        "test_level 2.5\n";
+    EXPECT_EQ(reg.renderPrometheus(), expected);
+}
+
+TEST(ObsExposition, EscapesLabelValues)
+{
+    MetricsRegistry reg;
+    reg.counter("esc_total", "Escapes.",
+                {{"path", "a\\b\"c\nd"}})
+        .add(1);
+    const std::string text = reg.renderPrometheus();
+    EXPECT_NE(text.find("esc_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+              std::string::npos);
+}
+
+TEST(ObsExposition, HistogramLabelsKeepLeLast)
+{
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("route_seconds", "Per-route.", {1.0},
+                                 {{"route", "/v1/stats"}});
+    h.observe(0.5);
+    const std::string text = reg.renderPrometheus();
+    EXPECT_NE(text.find("route_seconds_bucket{route=\"/v1/stats\",le=\"1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("route_seconds_bucket{route=\"/v1/stats\",le=\"+Inf\"} 1"),
+        std::string::npos);
+    EXPECT_NE(text.find("route_seconds_count{route=\"/v1/stats\"} 1"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace prosperity::obs

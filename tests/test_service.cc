@@ -402,6 +402,132 @@ TEST_F(ServiceTest, StatsDocumentClassifiesStoreDefects)
         1.0);
 }
 
+/** First value of `series` (exact rendered name) in an exposition. */
+double metricValue(const std::string& text, const std::string& series)
+{
+    std::istringstream lines(text);
+    std::string line;
+    const std::string prefix = series + " ";
+    while (std::getline(lines, line))
+        if (line.rfind(prefix, 0) == 0)
+            return std::stod(line.substr(prefix.size()));
+    return 0.0;
+}
+
+TEST_F(ServiceTest, MetricsEndpointReflectsKnownTraffic)
+{
+    startService();
+    HttpClient http = client();
+
+    // The registry is process-global and instruments accumulate across
+    // tests in this binary, so every assertion is a before/after delta.
+    const HttpResponse before = http.get("/metrics");
+    ASSERT_EQ(before.status, 200);
+    EXPECT_EQ(before.content_type,
+              "text/plain; version=0.0.4; charset=utf-8");
+    const double simulated_before = metricValue(
+        before.body, "prosperity_engine_jobs_total{outcome=\"simulated\"}");
+    const double ok_before = metricValue(
+        before.body, "prosperity_http_responses_total{code=\"200\"}");
+    const double polls_before = metricValue(
+        before.body,
+        "prosperity_http_request_seconds_count{route=\"/v1/jobs/:id\"}");
+
+    submitAndWait(http, "/v1/runs", kRunBody);
+
+    const HttpResponse after = http.get("/metrics");
+    ASSERT_EQ(after.status, 200);
+    EXPECT_EQ(metricValue(after.body,
+                          "prosperity_engine_jobs_total{outcome="
+                          "\"simulated\"}") -
+                  simulated_before,
+              static_cast<double>(service_->engine().stats().misses));
+    EXPECT_GE(metricValue(after.body,
+                          "prosperity_http_responses_total{code=\"200\"}") -
+                  ok_before,
+              1.0);
+    EXPECT_GE(metricValue(after.body,
+                          "prosperity_http_request_seconds_count{route="
+                          "\"/v1/jobs/:id\"}") -
+                  polls_before,
+              1.0);
+
+    // Build info is a constant-1 gauge whose labels carry the config.
+    EXPECT_NE(after.body.find("# TYPE prosperity_build_info gauge"),
+              std::string::npos);
+    EXPECT_NE(after.body.find("prosperity_build_info{compiler=\""),
+              std::string::npos);
+
+    // Histogram internal consistency: the +Inf bucket is the count.
+    EXPECT_EQ(
+        metricValue(after.body,
+                    "prosperity_http_request_seconds_bucket{route="
+                    "\"/v1/jobs/:id\",le=\"+Inf\"}"),
+        metricValue(after.body,
+                    "prosperity_http_request_seconds_count{route="
+                    "\"/v1/jobs/:id\"}"));
+
+    // Scrape-time gauges reflect this service instance.
+    EXPECT_GE(metricValue(after.body, "prosperity_uptime_seconds"), 0.0);
+    EXPECT_EQ(metricValue(after.body, "prosperity_service_records"), 1.0);
+
+    // Writes are rejected; the metrics route is read-only.
+    EXPECT_EQ(http.post("/metrics", "{}").status, 405);
+}
+
+TEST_F(ServiceTest, CampaignProgressTracksLifecycle)
+{
+    startService();
+    HttpClient http = client();
+    const std::string id =
+        submitAndWait(http, "/v1/campaigns", smokeSpecText());
+
+    const HttpResponse response =
+        http.get("/v1/campaigns/" + id + "/progress");
+    ASSERT_EQ(response.status, 200) << response.body;
+    const json::Value body = json::Value::parse(response.body);
+    EXPECT_EQ(body.at("id").asString(), id);
+    EXPECT_EQ(body.at("status").asString(), "done");
+    const double cells_total = body.at("cells_total").asNumber();
+    EXPECT_GT(cells_total, 0.0);
+    EXPECT_EQ(body.at("cells_done").asNumber(), cells_total);
+    EXPECT_EQ(body.at("jobs_done").asNumber(),
+              body.at("jobs_total").asNumber());
+    EXPECT_GE(body.at("elapsed_seconds").asNumber(), 0.0);
+    EXPECT_EQ(body.at("eta_seconds").asNumber(), 0.0);
+    EXPECT_EQ(body.at("poll").asString(), "/v1/jobs/" + id);
+    EXPECT_EQ(body.at("report").asString(), "/v1/reports/" + id);
+
+    // Unknown ids and non-campaign ids are 404s that say why.
+    EXPECT_EQ(
+        http.get("/v1/campaigns/campaign-does-not-exist/progress").status,
+        404);
+    const std::string run_id = submitAndWait(http, "/v1/runs", kRunBody);
+    const HttpResponse not_campaign =
+        http.get("/v1/campaigns/" + run_id + "/progress");
+    EXPECT_EQ(not_campaign.status, 404);
+    EXPECT_NE(not_campaign.body.find("single run"), std::string::npos)
+        << not_campaign.body;
+    // Malformed: no id between the prefix and the suffix.
+    EXPECT_EQ(http.get("/v1/campaigns/progress").status, 404);
+}
+
+TEST_F(ServiceTest, StatsDocumentCarriesUptimeSchemaAndBuildInfo)
+{
+    startService();
+    HttpClient http = client();
+    const HttpResponse response = http.get("/v1/stats");
+    ASSERT_EQ(response.status, 200);
+    const json::Value body = json::Value::parse(response.body);
+    EXPECT_GE(body.at("uptime_seconds").asNumber(), 0.0);
+    EXPECT_EQ(body.at("schema_versions").at("campaign_report").asNumber(),
+              static_cast<double>(CampaignReport::kSchemaVersion));
+    EXPECT_EQ(body.at("schema_versions").at("result_store").asNumber(),
+              static_cast<double>(ResultStore::kSchemaVersion));
+    EXPECT_FALSE(body.at("build").at("compiler").asString().empty());
+    EXPECT_TRUE(body.at("build").find("sanitizer") != nullptr);
+}
+
 TEST_F(ServiceTest, WarmRestartServesFromStoreWithoutSimulating)
 {
     ServiceOptions options;

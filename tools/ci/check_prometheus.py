@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) scrape. Stdlib only.
+
+Usage:
+    check_prometheus.py metrics.prom [--require NAME ...]
+
+Structural checks, applied to the whole file:
+
+  * every non-comment line parses as `name{labels} value`;
+  * every sample belongs to a family declared by `# TYPE` above it
+    (histogram samples may use the `_bucket`/`_sum`/`_count` suffixes);
+  * each family has exactly one HELP and one TYPE line;
+  * counter samples are non-negative integers;
+  * histogram buckets are cumulative (non-decreasing in `le` order)
+    and the `le="+Inf"` bucket equals the series' `_count`.
+
+`--require NAME` additionally demands at least one sample line whose
+metric name is exactly NAME (so `foo_seconds_bucket` requires the
+histogram's bucket series, not just the family). CI uses this to pin
+the key engine/store/http series after driving known traffic.
+
+Exit status: 0 clean, 1 any finding (all findings are printed), 2 bad
+invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(.*)\})?"
+    r" (-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)|[+-]Inf|NaN)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram"}
+
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(sample_name: str, types: dict) -> str | None:
+    """Map a sample name to its declared family, honoring suffixes."""
+    if sample_name in types:
+        return sample_name
+    for suffix in HIST_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def parse_labels(raw: str, line_no: int, findings: list) -> dict:
+    labels = {}
+    consumed = 0
+    for match in LABEL_RE.finditer(raw):
+        labels[match.group(1)] = match.group(2)
+        consumed = match.end()
+        if consumed < len(raw) and raw[consumed] == ",":
+            consumed += 1
+    if consumed != len(raw):
+        findings.append(f"line {line_no}: malformed label set {{{raw}}}")
+    return labels
+
+
+def check(path: str, required: list) -> list:
+    findings = []
+    types: dict = {}
+    helps: dict = {}
+    seen_names = set()
+    # (family, labels-minus-le) -> list of (le, value); -> _count value
+    buckets: dict = {}
+    counts: dict = {}
+
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                parts = line.split(" ", 3)
+                if len(parts) < 4 or not parts[3]:
+                    findings.append(f"line {line_no}: HELP without text")
+                    continue
+                if parts[2] in helps:
+                    findings.append(
+                        f"line {line_no}: duplicate HELP for {parts[2]}")
+                helps[parts[2]] = parts[3]
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4 or parts[3] not in VALID_TYPES:
+                    findings.append(f"line {line_no}: malformed TYPE: {line}")
+                    continue
+                if parts[2] in types:
+                    findings.append(
+                        f"line {line_no}: duplicate TYPE for {parts[2]}")
+                types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+
+            match = SAMPLE_RE.match(line)
+            if not match:
+                findings.append(f"line {line_no}: unparsable sample: {line}")
+                continue
+            name, raw_labels, raw_value = match.groups()
+            seen_names.add(name)
+            labels = parse_labels(raw_labels or "", line_no, findings)
+            value = float(raw_value.replace("Inf", "inf"))
+
+            family = family_of(name, types)
+            if family is None:
+                findings.append(
+                    f"line {line_no}: sample {name} has no TYPE declaration")
+                continue
+            kind = types[family]
+            if kind == "counter" and (value < 0 or value != int(value)):
+                findings.append(
+                    f"line {line_no}: counter {name} has non-integral or "
+                    f"negative value {raw_value}")
+            if kind == "histogram":
+                key_labels = tuple(
+                    sorted((k, v) for k, v in labels.items() if k != "le"))
+                if name.endswith("_bucket"):
+                    if "le" not in labels:
+                        findings.append(
+                            f"line {line_no}: bucket sample without le label")
+                        continue
+                    le = (math.inf if labels["le"] == "+Inf"
+                          else float(labels["le"]))
+                    buckets.setdefault((family, key_labels), []).append(
+                        (le, value))
+                elif name.endswith("_count"):
+                    counts[(family, key_labels)] = value
+
+    for name in types:
+        if name not in helps:
+            findings.append(f"family {name}: TYPE without HELP")
+
+    for (family, key_labels), entries in buckets.items():
+        entries.sort(key=lambda pair: pair[0])
+        series = f"{family}{dict(key_labels) if key_labels else ''}"
+        last = -1.0
+        for le, value in entries:
+            if value < last:
+                findings.append(
+                    f"{series}: bucket le={le} count {value} decreases "
+                    f"from {last} (buckets must be cumulative)")
+            last = value
+        if not entries or entries[-1][0] != math.inf:
+            findings.append(f"{series}: missing le=\"+Inf\" bucket")
+            continue
+        total = counts.get((family, key_labels))
+        if total is None:
+            findings.append(f"{series}: histogram without _count sample")
+        elif entries[-1][1] != total:
+            findings.append(
+                f"{series}: +Inf bucket {entries[-1][1]} != _count {total}")
+
+    for name in required:
+        if name not in seen_names:
+            findings.append(f"required series missing: {name}")
+
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a Prometheus text exposition.")
+    parser.add_argument("path", help="scrape output to validate")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="exact sample name that must be present")
+    args = parser.parse_args()
+
+    try:
+        findings = check(args.path, args.require)
+    except OSError as err:
+        print(f"check_prometheus: {err}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(f"check_prometheus: {finding}")
+    if findings:
+        print(f"check_prometheus: {len(findings)} finding(s) in {args.path}")
+        return 1
+    print(f"check_prometheus: {args.path} is a valid exposition"
+          + (f" with {len(args.require)} required series" if args.require
+             else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,16 @@ enforces them statically, as a tier-1 ctest and a CI gate:
                        so Clang Thread Safety Analysis can prove the
                        locking discipline at compile time.
 
+  wall-clock           No std::chrono::{system,steady,high_resolution}
+                       _clock anywhere in src/ outside src/obs/ (the
+                       metrics subsystem's sanctioned clock seam,
+                       src/obs/clock.h). Time must never be able to
+                       reach simulation results; confining the clock
+                       types to one audited directory is what makes
+                       the metrics layer *provably* inert. bench/ and
+                       examples/ sit outside the scanned tree and may
+                       read clocks freely.
+
 Escape hatch: a finding on line N is suppressed by an inline comment
 `// lint:allow(<rule>) <reason>` on line N or N-1. The reason is
 mandatory -- a bare allow is itself a finding (rule `allow-format`).
@@ -75,6 +85,7 @@ SERIALIZATION_PATHS = (
 # The sanctioned homes of the primitives each rule forbids elsewhere.
 RNG_HOME = ("src/sim/rng.",)
 MUTEX_HOME = ("src/util/thread_annotations.h",)
+OBS_HOME = ("src/obs/",)
 
 
 class Rule(NamedTuple):
@@ -146,6 +157,21 @@ RULES = [
         scope=SERIALIZATION_PATHS,
         exempt=(),
         raw_pattern=re.compile(r"%[-+ #0]*[\d.*]*l?[efgEFG]"),
+    ),
+    Rule(
+        name="wall-clock",
+        pattern=re.compile(
+            r"std::chrono::(system_clock|steady_clock|"
+            r"high_resolution_clock)\b"
+        ),
+        message=(
+            "wall-clock type outside src/obs/; read time through "
+            "obs::monotonicNanos() (src/obs/clock.h) -- one audited "
+            "seam is what keeps metrics provably inert w.r.t. "
+            "simulation output"
+        ),
+        scope=(),
+        exempt=OBS_HOME,
     ),
     Rule(
         name="naked-mutex",

@@ -26,13 +26,16 @@ FIXTURES = os.path.join(ROOT, "tests", "lint_fixtures")
 
 # fixture file -> exact {rule: finding count} histogram
 EXPECTED = {
-    "bad_rand_source.cc": {"rand-source": 4},
+    # The steady_clock::now() seed line trips both rules in fixture mode.
+    "bad_rand_source.cc": {"rand-source": 4, "wall-clock": 1},
     "bad_unordered_iteration.cc": {"unordered-iteration": 2},
     "bad_double_format.cc": {"double-format": 4},
     "bad_naked_mutex.h": {"naked-mutex": 3},
     "bad_allow_format.cc": {"allow-format": 2, "rand-source": 2},
+    "bad_wall_clock.cc": {"wall-clock": 3, "rand-source": 1},
     "good_clean.cc": {},
     "good_allowed.cc": {},
+    "good_wall_clock.cc": {},
 }
 
 failures = []
@@ -92,7 +95,7 @@ def main() -> int:
     # Every rule's bad fixture detects at least one finding -- the
     # acceptance-criteria floor, independent of the exact counts above.
     all_rules = {"rand-source", "unordered-iteration", "double-format",
-                 "naked-mutex", "allow-format"}
+                 "naked-mutex", "wall-clock", "allow-format"}
     covered = set()
     for name, expected in EXPECTED.items():
         covered.update(rule for rule, count in expected.items() if count)
