@@ -20,7 +20,7 @@
  *       with the offending key path on errors.
  *   prosperity_cli campaign <spec.json> [--out report.json]
  *                  [--csv-out report.csv] [--quiet] [--threads N]
- *                  [--seeds N] [--store DIR]
+ *                  [--seeds N] [--store DIR] [--trace out.json]
  *       Execute a declarative campaign spec (campaigns/<name>.json or
  *       any path; a bare name resolves against the checked-in
  *       campaigns directory). Streams per-job progress, prints the
@@ -34,7 +34,10 @@
  *       --threads sizes the engine's worker pool (default: hardware
  *       concurrency); --store persists results to a ResultStore
  *       directory shared with the daemon; --quiet replaces the
- *       tables with one summary line of engine cache statistics.
+ *       tables with one summary line of engine cache statistics;
+ *       --trace records the campaign's span timeline (per-layer,
+ *       per-stage) and writes it as Chrome trace-event JSON — open
+ *       the file in Perfetto (ui.perfetto.dev) or chrome://tracing.
  *   prosperity_cli campaign --progress <id|spec> [--port P]
  *       Live progress ticker for a campaign submitted to a running
  *       daemon: polls GET /v1/campaigns/<id>/progress (cells done,
@@ -42,7 +45,7 @@
  *       finishes. Accepts a raw "campaign-<hex>" id, or a spec whose
  *       deterministic id is recomputed locally.
  *   prosperity_cli serve [--port P] [--store DIR] [--threads N]
- *                  [--max-pending N]
+ *                  [--max-pending N] [--trace] [--trace-slow-ms N]
  *       Run the simulation-as-a-service HTTP daemon (see
  *       docs/SERVING.md): POST /v1/runs and /v1/campaigns, poll
  *       GET /v1/jobs/<id>, fetch GET /v1/reports/<id>, watch
@@ -50,7 +53,11 @@
  *       (Prometheus text exposition; docs/OBSERVABILITY.md). With
  *       --store, finished results persist to disk and a restarted
  *       daemon serves previously computed traffic without re-running
- *       any simulation.
+ *       any simulation. --trace turns on the span flight recorder
+ *       (every request gets a trace id, fetchable as Perfetto JSON
+ *       via GET /v1/traces/<id>); --trace-slow-ms N additionally
+ *       dumps the timeline of any request slower than N ms to
+ *       stderr.
  *
  * Accelerators, models and datasets are all constructed by name
  * through their registries and simulated through the SimulationEngine,
@@ -77,6 +84,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -85,6 +93,7 @@
 #include "bitmatrix/simd_dispatch.h"
 #include "analysis/density.h"
 #include "analysis/export.h"
+#include "obs/trace.h"
 #include "serve/http.h"
 #include "serve/result_store.h"
 #include "serve/service.h"
@@ -115,11 +124,12 @@ usage()
         << "  prosperity_cli model validate <file.json>\n"
         << "  prosperity_cli campaign <spec.json> [--out report.json]"
            " [--csv-out report.csv] [--quiet] [--threads N]"
-           " [--seeds N] [--store DIR]\n"
+           " [--seeds N] [--store DIR] [--trace out.json]\n"
         << "  prosperity_cli campaign --progress <id|spec>"
            " [--port P]\n"
         << "  prosperity_cli serve [--port P] [--store DIR]"
-           " [--threads N] [--max-pending N]\n"
+           " [--threads N] [--max-pending N] [--trace]"
+           " [--trace-slow-ms N]\n"
         << "global flags: --simd scalar|sse2|avx2|avx512 (force the"
            " kernel tier; see `list simd`)\n";
     return 2;
@@ -463,6 +473,8 @@ cmdCampaignProgress(const std::string& target, std::uint16_t port)
              << " s";
         if (const json::Value* eta = doc.find("eta_seconds"))
             line << ", eta " << Table::num(eta->asNumber(), 1) << " s";
+        if (const json::Value* queue = doc.find("queue_depth"))
+            line << ", queue " << queue->asNumber();
         line << ')';
         // Re-print only on change so an idle poll loop stays quiet.
         if (line.str() != last_line) {
@@ -485,7 +497,7 @@ cmdCampaignProgress(const std::string& target, std::uint16_t port)
 int
 cmdCampaign(int argc, char** argv)
 {
-    std::string spec_path, out_json, out_csv, store_dir;
+    std::string spec_path, out_json, out_csv, store_dir, trace_out;
     bool quiet = false;
     bool progress_mode = false;
     std::uint16_t port = 8080;
@@ -532,12 +544,15 @@ cmdCampaign(int argc, char** argv)
                 return usage();
             }
             store_dir = argv[++i];
-        } else if (arg == "--out" || arg == "--csv-out") {
+        } else if (arg == "--out" || arg == "--csv-out" ||
+                   arg == "--trace") {
             if (i + 1 >= argc) {
                 std::cerr << arg << " needs a file argument\n";
                 return usage();
             }
-            (arg == "--out" ? out_json : out_csv) = argv[++i];
+            (arg == "--out"       ? out_json
+             : arg == "--csv-out" ? out_csv
+                                  : trace_out) = argv[++i];
         } else if (spec_path.empty()) {
             spec_path = arg;
         } else {
@@ -614,8 +629,22 @@ cmdCampaign(int argc, char** argv)
         };
     }
 
+    // --trace: turn the span flight recorder on and give the whole
+    // campaign one trace id, so every layer/stage/store span the run
+    // emits lands in a single collectible timeline. With the flag
+    // absent trace_id stays 0 and every span site below is inert.
+    std::uint64_t trace_id = 0;
+    if (!trace_out.empty()) {
+        obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+        recorder.setEnabled(true);
+        trace_id = recorder.mintTraceId();
+    }
+
     CampaignReport report;
     try {
+        obs::ScopedTraceContext trace_scope(
+            obs::TraceContext{trace_id, 0});
+        obs::ScopedSpan root("campaign", spec.name);
         report = runner.run(spec, progress);
     } catch (const std::exception& e) {
         std::cerr << "campaign failed: " << e.what() << '\n';
@@ -705,6 +734,22 @@ cmdCampaign(int argc, char** argv)
         }
         std::cout << "CSV written to " << out_csv << '\n';
     }
+    if (!trace_out.empty()) {
+        const std::vector<obs::TraceSpan> spans =
+            obs::TraceRecorder::global().collect(trace_id);
+        std::ofstream os(trace_out);
+        if (!os) {
+            std::cerr << "cannot write " << trace_out << '\n';
+            return 1;
+        }
+        obs::chromeTraceJson(spans).write(os, 2);
+        os << '\n';
+        std::cout << "trace written to " << trace_out << " ("
+                  << spans.size() << " spans, id "
+                  << obs::formatTraceId(trace_id)
+                  << ") — load it at ui.perfetto.dev or "
+                     "chrome://tracing\n";
+    }
     return 0;
 }
 
@@ -725,6 +770,12 @@ cmdServe(int argc, char** argv)
     server_options.port = 8080;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
+        // Boolean flags first: the shared parse below consumes a
+        // value for every other flag.
+        if (arg == "--trace") {
+            service_options.tracing = true;
+            continue;
+        }
         if (i + 1 >= argc) {
             std::cerr << arg << " needs a value\n";
             return usage();
@@ -747,6 +798,14 @@ cmdServe(int argc, char** argv)
                     return 2;
             } else if (arg == "--max-pending") {
                 service_options.max_pending = std::stoull(value);
+            } else if (arg == "--trace-slow-ms") {
+                service_options.slow_trace_ms = std::stod(value);
+                if (!(service_options.slow_trace_ms > 0.0)) {
+                    std::cerr << "--trace-slow-ms needs a positive "
+                                 "millisecond threshold, got "
+                              << value << '\n';
+                    return 2;
+                }
             } else {
                 std::cerr << "unexpected argument: " << arg << '\n';
                 return usage();
@@ -769,6 +828,8 @@ cmdServe(int argc, char** argv)
             });
         server.start();
 
+        const bool tracing = service_options.tracing ||
+                             service_options.slow_trace_ms > 0.0;
         std::cout << "prosperity daemon on http://127.0.0.1:"
                   << server.port() << "\n  engine threads: "
                   << service.engine().threads() << "\n  result store: "
@@ -777,8 +838,10 @@ cmdServe(int argc, char** argv)
                   << "\n  routes: POST /v1/runs, POST /v1/campaigns, "
                      "GET /v1/jobs/<id>, GET /v1/reports/<id>, "
                      "GET /v1/campaigns/<id>/progress, "
-                     "GET /v1/registry, GET /v1/stats, GET /metrics\n"
-                  << std::flush;
+                     "GET /v1/registry, GET /v1/stats, GET /metrics"
+                  << (tracing ? ", GET /v1/traces, GET /v1/traces/<id>"
+                              : "")
+                  << "\n" << std::flush;
 
         std::signal(SIGINT, onServeSignal);
         std::signal(SIGTERM, onServeSignal);

@@ -9,6 +9,7 @@
 
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace prosperity {
 
@@ -174,60 +175,75 @@ SimulationEngine::workerLoop()
         }
         EngineMetrics& metrics = engineMetrics();
         metrics.queue_depth.sub(1.0);
+        const std::uint64_t dequeued_ns = obs::monotonicNanos();
         metrics.queue_wait.observe(
-            obs::elapsedSeconds(task.enqueued_ns, obs::monotonicNanos()));
+            obs::elapsedSeconds(task.enqueued_ns, dequeued_ns));
 
         try {
-            // Memory cache missed at submit time; the second-level
-            // cache (e.g. the on-disk ResultStore) gets its chance
-            // here, off the caller's thread.
-            std::shared_ptr<ResultCache> second_level;
-            {
-                util::MutexLock lock(mutex_);
-                if (options_.memoize)
-                    second_level = second_level_;
-            }
             RunResult result;
-            bool from_second_level = false;
-            if (second_level &&
-                second_level->fetch(task.key, &result))
-                from_second_level = true;
-
-            if (from_second_level) {
-                metrics.jobs_store_hit.add();
-            } else {
-                AcceleratorRegistry& registry =
-                    AcceleratorRegistry::instance();
-                std::unique_ptr<Accelerator> accel = registry.create(
-                    task.job.accelerator.name,
-                    task.job.accelerator.params);
-                obs::GaugeGuard busy(metrics.in_flight);
-                const std::uint64_t start_ns = obs::monotonicNanos();
-                result = runWorkload(*accel, task.job.workload,
-                                     task.job.options);
-                metrics.simulate_seconds.observe(obs::elapsedSeconds(
-                    start_ns, obs::monotonicNanos()));
-                metrics.jobs_simulated.add();
-            }
-
             std::vector<std::promise<RunResult>> waiters;
             {
-                util::MutexLock lock(mutex_);
-                if (from_second_level)
-                    ++cache_hits_;
-                else
-                    ++cache_misses_;
-                if (options_.memoize) {
-                    cache_.emplace(task.key, result);
-                    const auto it = inflight_.find(task.key);
-                    if (it != inflight_.end()) {
-                        waiters = std::move(it->second);
-                        inflight_.erase(it);
+                // Adopt the submitter's trace for everything the task
+                // does; the scope ends (and the span buffer drains)
+                // before any promise resolves, so a client that just
+                // observed "done" can already collect the full trace.
+                obs::ScopedTraceContext trace_scope(task.trace_context);
+                obs::emitSpan("engine", "queue_wait", task.enqueued_ns,
+                              dequeued_ns);
+
+                // Memory cache missed at submit time; the second-level
+                // cache (e.g. the on-disk ResultStore) gets its chance
+                // here, off the caller's thread.
+                std::shared_ptr<ResultCache> second_level;
+                {
+                    util::MutexLock lock(mutex_);
+                    if (options_.memoize)
+                        second_level = second_level_;
+                }
+                bool from_second_level = false;
+                if (second_level &&
+                    second_level->fetch(task.key, &result))
+                    from_second_level = true;
+
+                if (from_second_level) {
+                    metrics.jobs_store_hit.add();
+                } else {
+                    AcceleratorRegistry& registry =
+                        AcceleratorRegistry::instance();
+                    std::unique_ptr<Accelerator> accel = registry.create(
+                        task.job.accelerator.name,
+                        task.job.accelerator.params);
+                    obs::GaugeGuard busy(metrics.in_flight);
+                    obs::ScopedSpan span("engine", "simulate");
+                    if (span.active())
+                        span.setDetail(task.job.accelerator.name + " / " +
+                                       task.job.workload.name());
+                    const std::uint64_t start_ns = obs::monotonicNanos();
+                    result = runWorkload(*accel, task.job.workload,
+                                         task.job.options);
+                    metrics.simulate_seconds.observe(obs::elapsedSeconds(
+                        start_ns, obs::monotonicNanos()));
+                    metrics.jobs_simulated.add();
+                }
+
+                {
+                    util::MutexLock lock(mutex_);
+                    if (from_second_level)
+                        ++cache_hits_;
+                    else
+                        ++cache_misses_;
+                    if (options_.memoize) {
+                        cache_.emplace(task.key, result);
+                        const auto it = inflight_.find(task.key);
+                        if (it != inflight_.end()) {
+                            waiters = std::move(it->second);
+                            inflight_.erase(it);
+                        }
                     }
                 }
+                if (!from_second_level && second_level)
+                    second_level->publish(task.key, result);
             }
-            if (!from_second_level && second_level)
-                second_level->publish(task.key, result);
             for (std::promise<RunResult>& waiter : waiters)
                 waiter.set_value(result);
             task.promise.set_value(std::move(result));
@@ -278,7 +294,8 @@ SimulationEngine::submit(const SimulationJob& job)
         }
         queue_.push_back(AsyncTask{job, std::move(key),
                                    std::move(promise),
-                                   obs::monotonicNanos()});
+                                   obs::monotonicNanos(),
+                                   obs::currentTraceContext()});
         metrics.queue_depth.add(1.0);
         ensureWorkersLocked();
     }
@@ -381,9 +398,14 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
 
     // Simulate group by group across the pool. Each worker claims the
     // next un-started group and writes to its jobs' own slots, so the
-    // computed values cannot depend on scheduling.
+    // computed values cannot depend on scheduling. The caller's trace
+    // context is captured here and re-installed inside each pool
+    // thread so per-group simulate spans join the caller's trace.
+    const obs::TraceContext trace_context = obs::currentTraceContext();
     std::vector<RunResult> computed(pending.size());
     auto simulate = [&](std::size_t group_idx) {
+        obs::ScopedTraceContext trace_scope(trace_context);
+        obs::ScopedSpan group_span("engine", "simulate");
         const std::vector<std::size_t>& group = groups[group_idx];
         std::vector<std::unique_ptr<Accelerator>> owned;
         std::vector<Accelerator*> lineup;
@@ -396,6 +418,9 @@ SimulationEngine::runBatch(const std::vector<SimulationJob>& jobs)
             lineup.push_back(owned.back().get());
         }
         const SimulationJob& lead = *pending[group.front()];
+        if (group_span.active())
+            group_span.setDetail(lead.workload.name() + " x" +
+                                 std::to_string(group.size()));
         EngineMetrics& metrics = engineMetrics();
         obs::GaugeGuard busy(metrics.in_flight);
         const std::uint64_t start_ns = obs::monotonicNanos();
@@ -496,6 +521,13 @@ SimulationEngine::cacheSize() const
 {
     util::MutexLock lock(mutex_);
     return cache_.size();
+}
+
+std::size_t
+SimulationEngine::queueDepth() const
+{
+    util::MutexLock lock(mutex_);
+    return queue_.size();
 }
 
 std::size_t

@@ -31,6 +31,7 @@
 
 #include "analysis/runner.h"
 #include "arch/registry.h"
+#include "obs/trace.h"
 #include "snn/workload.h"
 #include "util/thread_annotations.h"
 
@@ -229,6 +230,9 @@ class SimulationEngine
     /** Configured worker-pool size (resolved, never 0). */
     std::size_t threads() const { return options_.threads; }
 
+    /** Async tasks enqueued but not yet claimed by a worker. */
+    std::size_t queueDepth() const;
+
     /**
      * Install (or clear, with nullptr) the second-level result cache.
      * Takes effect for subsequent run/runBatch/submit calls; typically
@@ -256,6 +260,9 @@ class SimulationEngine
         /** obs::monotonicNanos() at enqueue; feeds the queue-wait
          *  histogram and nothing else (results never depend on it). */
         std::uint64_t enqueued_ns = 0;
+        /** Submitter's trace context, re-installed on the worker so
+         *  queue/simulate/store spans join the caller's trace. */
+        obs::TraceContext trace_context;
     };
 
     /** Start the worker pool if needed. */

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "gen/spike_generator.h"
+#include "obs/trace.h"
 #include "sim/logging.h"
 
 namespace prosperity {
@@ -40,6 +41,11 @@ accumulateLayer(Accelerator& accel, const LayerSpec& layer,
                 const BitMatrix* spikes, const RunOptions& options,
                 RunResult& result)
 {
+    // One child span per layer; Accelerator::runLayer adds per-stage
+    // grandchildren. Free when the thread is not being traced.
+    obs::ScopedSpan span("layer", layer.name);
+    if (span.active())
+        span.setDetail(accel.name());
     const LayerRequest request = layerRequestFor(layer, spikes);
     const LayerResult lr = accel.runLayer(request);
     result.cycles += lr.cycles;
@@ -91,9 +97,11 @@ runWorkload(Accelerator& accel, const Workload& workload,
         ++layer_index;
         BitMatrix spikes;
         const bool is_spiking = layer.isSpikingGemm();
-        if (is_spiking)
+        if (is_spiking) {
+            obs::ScopedSpan span("spikegen", layer.name);
             spikes = generateLayerSpikes(gen, layer, layer_index,
                                          options.seed);
+        }
         accumulateLayer(accel, layer, is_spiking ? &spikes : nullptr,
                         options, result);
     }
@@ -121,9 +129,11 @@ runWorkloadOnAll(const std::vector<Accelerator*>& accels,
         ++layer_index;
         BitMatrix spikes;
         const bool is_spiking = layer.isSpikingGemm();
-        if (is_spiking)
+        if (is_spiking) {
+            obs::ScopedSpan span("spikegen", layer.name);
             spikes = generateLayerSpikes(gen, layer, layer_index,
                                          options.seed);
+        }
 
         for (std::size_t a = 0; a < accels.size(); ++a)
             accumulateLayer(*accels[a], layer,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "sim/logging.h"
 
 namespace prosperity {
@@ -52,26 +53,36 @@ Accelerator::runLayer(const LayerRequest& request)
     EnergyModel& energy = result.energy;
 
     layer_dram_bytes_ = 0.0;
+    // Per-stage child spans: these are the leaves of a request's trace
+    // timeline, and no-ops (no clock read) when tracing is off.
     switch (request.kind) {
-    case LayerRequest::Kind::kSpikingGemm:
+    case LayerRequest::Kind::kSpikingGemm: {
         PROSPERITY_ASSERT(request.spikes != nullptr,
                           "spiking GeMM request carries no spike matrix");
+        obs::ScopedSpan span("stage", "spiking_gemm");
         result.cycles =
             simulateSpikingGemm(request.shape, *request.spikes, energy);
         result.dense_macs = request.shape.denseOps();
         break;
-    case LayerRequest::Kind::kDenseGemm:
+    }
+    case LayerRequest::Kind::kDenseGemm: {
+        obs::ScopedSpan span("stage", "dense_gemm");
         result.cycles = simulateDenseGemm(request.shape, energy);
         result.dense_macs = request.shape.denseOps();
         break;
+    }
     case LayerRequest::Kind::kAuxiliary:
         break;
     }
 
-    if (request.lif_updates > 0.0)
+    if (request.lif_updates > 0.0) {
+        obs::ScopedSpan span("stage", "lif");
         simulateLif(request.lif_updates, energy);
-    if (request.sfu_ops > 0.0)
+    }
+    if (request.sfu_ops > 0.0) {
+        obs::ScopedSpan span("stage", "sfu");
         result.cycles += simulateSfu(request.sfu_ops, energy);
+    }
 
     energy.charge("static", staticPjPerCycle(), result.cycles);
     // Bytes noted by the hooks (chargeDramTraffic or designs' own

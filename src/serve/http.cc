@@ -33,6 +33,28 @@ connectionsCounter()
     return counter;
 }
 
+/** Wire-volume counters: request bytes parsed, response bytes sent. */
+struct HttpByteCounters
+{
+    obs::Counter& request_bytes;
+    obs::Counter& response_bytes;
+};
+
+HttpByteCounters&
+byteCounters()
+{
+    static HttpByteCounters counters{
+        obs::MetricsRegistry::global().counter(
+            "prosperity_http_request_bytes_total",
+            "Request bytes received (header block + body)"),
+        obs::MetricsRegistry::global().counter(
+            "prosperity_http_response_bytes_total",
+            "Response bytes written on the wire (status line + "
+            "headers + body)"),
+    };
+    return counters;
+}
+
 std::string
 toLower(std::string s)
 {
@@ -199,6 +221,7 @@ struct ParseOutcome
     bool keep_alive = false; ///< honor keep-alive after the response
     int error_status = 0;    ///< non-zero: respond with this and close
     std::string error_message;
+    std::size_t bytes = 0;   ///< request bytes consumed (header + body)
 };
 
 ParseOutcome
@@ -226,6 +249,7 @@ parseRequest(ConnReader& reader, const HttpServerOptions& options,
 
     const std::string head = reader.buffer.substr(0, header_end);
     reader.buffer.erase(0, header_end);
+    outcome.bytes = header_end;
 
     // Request line: METHOD SP target SP HTTP/1.x
     const std::size_t line_end = head.find("\r\n");
@@ -321,6 +345,7 @@ parseRequest(ConnReader& reader, const HttpServerOptions& options,
         }
         request->body = reader.buffer.substr(0, content_length);
         reader.buffer.erase(0, content_length);
+        outcome.bytes += content_length;
     }
     return outcome;
 }
@@ -530,6 +555,8 @@ HttpServer::serveConnection(int fd)
         } catch (const std::exception&) {
             return; // transport error: nothing sane left to send
         }
+        if (outcome.bytes > 0)
+            byteCounters().request_bytes.add(outcome.bytes);
         if (outcome.eof)
             return;
         if (outcome.error_status != 0) {
@@ -537,6 +564,7 @@ HttpServer::serveConnection(int fd)
                 outcome.error_status, outcome.error_message);
             const std::string wire = renderResponse(response, false);
             (void)net::writeAll(fd, wire.data(), wire.size());
+            byteCounters().response_bytes.add(wire.size());
             ++requests_served_;
             countResponse(response.status);
             return;
@@ -554,6 +582,7 @@ HttpServer::serveConnection(int fd)
             renderResponse(response, outcome.keep_alive);
         const bool delivered =
             net::writeAll(fd, wire.data(), wire.size());
+        byteCounters().response_bytes.add(wire.size());
         ++requests_served_;
         countResponse(response.status);
         if (!delivered || !outcome.keep_alive)
@@ -569,7 +598,8 @@ HttpClient::~HttpClient()
 HttpResponse
 HttpClient::request(const std::string& method, const std::string& target,
                     const std::string& body,
-                    const std::string& content_type)
+                    const std::string& content_type,
+                    const HeaderList& headers)
 {
     std::string wire = method + ' ' + target + " HTTP/1.1\r\n";
     wire += "Host: 127.0.0.1:" + std::to_string(port_) + "\r\n";
@@ -578,6 +608,8 @@ HttpClient::request(const std::string& method, const std::string& target,
         wire += "Content-Length: " + std::to_string(body.size()) +
                 "\r\n";
     }
+    for (const auto& [name, value] : headers)
+        wire += name + ": " + value + "\r\n";
     wire += "Connection: keep-alive\r\n\r\n";
     wire += body;
 

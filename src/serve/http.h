@@ -184,14 +184,19 @@ class HttpClient
     HttpClient(const HttpClient&) = delete;
     HttpClient& operator=(const HttpClient&) = delete;
 
+    /** Extra request headers as (name, value) pairs. */
+    using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
     /** Send one request and read the full response. The connection is
      *  reused across calls and transparently re-opened when the server
-     *  closed it. */
+     *  closed it. `headers` are sent verbatim after the standard ones
+     *  (e.g. {{"X-Prosperity-Trace", "<id>"}}). */
     HttpResponse request(const std::string& method,
                          const std::string& target,
                          const std::string& body = "",
                          const std::string& content_type =
-                             "application/json");
+                             "application/json",
+                         const HeaderList& headers = {});
 
     HttpResponse get(const std::string& target)
     {

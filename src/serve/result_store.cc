@@ -9,6 +9,7 @@
 #include "analysis/result_json.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/json_schema.h"
 
 namespace prosperity::serve {
@@ -144,6 +145,7 @@ ResultStore::fetch(const std::string& key, RunResult* out)
 {
     StoreMetrics& metrics = storeMetrics();
     obs::ScopedTimer timer(metrics.fetch_seconds);
+    obs::ScopedSpan span("store", "store.fetch");
     const std::string path = pathFor(key);
     std::ifstream is(path);
     if (!is) {
@@ -209,6 +211,7 @@ void
 ResultStore::publish(const std::string& key, const RunResult& result)
 {
     obs::ScopedTimer timer(storeMetrics().publish_seconds);
+    obs::ScopedSpan span("store", "store.publish");
     json::Value entry = json::Value::object();
     entry.set("schema_version", kSchemaVersion);
     entry.set("key", key);

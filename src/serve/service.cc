@@ -4,10 +4,13 @@
 #include <functional>
 #include <sstream>
 
+#include <iostream>
+
 #include "analysis/export.h"
 #include "analysis/result_json.h"
 #include "bitmatrix/simd_dispatch.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "snn/model_registry.h"
 #include "util/build_config.h"
 
@@ -33,12 +36,14 @@ routePattern(const std::string& path)
 {
     if (path == "/metrics" || path == "/v1/registry" ||
         path == "/v1/stats" || path == "/v1/runs" ||
-        path == "/v1/campaigns")
+        path == "/v1/campaigns" || path == "/v1/traces")
         return path;
     if (path.rfind("/v1/jobs/", 0) == 0)
         return "/v1/jobs/:id";
     if (path.rfind("/v1/reports/", 0) == 0)
         return "/v1/reports/:id";
+    if (path.rfind("/v1/traces/", 0) == 0)
+        return "/v1/traces/:id";
     if (path.rfind("/v1/campaigns/", 0) == 0 &&
         path.size() > 14 + 9 &&
         path.compare(path.size() - 9, 9, "/progress") == 0)
@@ -113,6 +118,50 @@ registerBuildInfoGauge()
         .set(1.0);
 }
 
+/**
+ * Stderr dump of one slow request's span timeline (the threshold-gated
+ * flight-recorder tap; see ServiceOptions::slow_trace_ms). All doubles
+ * are rendered through json::formatDouble so the log obeys the same
+ * formatting discipline as every other output path.
+ */
+void
+logSlowRequest(const HttpRequest& request, double elapsed_ms,
+               std::uint64_t trace_id)
+{
+    std::ostringstream os;
+    os << "[prosperity] slow request: " << request.method << ' '
+       << request.path << ' ' << json::formatDouble(elapsed_ms)
+       << " ms trace=" << obs::formatTraceId(trace_id) << '\n';
+    const std::vector<obs::TraceSpan> spans =
+        obs::TraceRecorder::global().collect(trace_id);
+    const std::uint64_t base_ns =
+        spans.empty() ? 0 : spans.front().start_ns;
+    for (const obs::TraceSpan& span : spans) {
+        const double at_ms =
+            obs::elapsedSeconds(base_ns, span.start_ns) * 1e3;
+        const double dur_ms =
+            obs::elapsedSeconds(span.start_ns, span.end_ns) * 1e3;
+        os << "  +" << json::formatDouble(at_ms) << "ms "
+           << json::formatDouble(dur_ms) << "ms " << span.category
+           << ' ' << span.name;
+        if (!span.detail.empty())
+            os << " (" << span.detail << ')';
+        os << '\n';
+    }
+    std::cerr << os.str() << std::flush;
+}
+
+/** Append the trace link to a submit ack when the request is traced. */
+json::Value
+withTraceLink(json::Value ack)
+{
+    if (obs::traceActive())
+        ack.set("trace",
+                "/v1/traces/" + obs::formatTraceId(
+                                    obs::currentTraceContext().trace_id));
+    return ack;
+}
+
 json::Value
 rosterJson(const std::vector<std::string>& names,
            const std::function<std::string(const std::string&)>& describe)
@@ -139,6 +188,11 @@ SimulationService::SimulationService(ServiceOptions options)
     if (store_)
         engine_.setResultCache(store_);
     registerBuildInfoGauge();
+    // A slow-request threshold implies tracing (there is nothing to
+    // dump otherwise). Only ever turn the recorder on: another service
+    // in the same process may have enabled it first.
+    if (options_.tracing || options_.slow_trace_ms > 0.0)
+        obs::TraceRecorder::global().setEnabled(true);
 }
 
 std::string
@@ -159,7 +213,48 @@ SimulationService::campaignId(const CampaignSpec& spec)
 HttpResponse
 SimulationService::handle(const HttpRequest& request)
 {
-    obs::ScopedTimer timer(routeHistogram(routePattern(request.path)));
+    const std::string pattern = routePattern(request.path);
+    obs::ScopedTimer timer(routeHistogram(pattern));
+
+    // Trace identity: adopt the caller's X-Prosperity-Trace id, else
+    // mint one per work request. Introspection routes (/metrics and
+    // the traces routes themselves) are only traced when the caller
+    // asks by header, so scrape traffic never crowds the ring.
+    obs::TraceContext trace_context;
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+        if (const std::string* header =
+                request.header("x-prosperity-trace"))
+            trace_context.trace_id = obs::parseTraceId(*header);
+        const bool introspection = pattern == "/metrics" ||
+                                   pattern == "/v1/traces" ||
+                                   pattern == "/v1/traces/:id";
+        if (trace_context.trace_id == 0 && !introspection)
+            trace_context.trace_id = recorder.mintTraceId();
+    }
+
+    HttpResponse response;
+    const std::uint64_t start_ns = obs::monotonicNanos();
+    {
+        obs::ScopedTraceContext trace_scope(trace_context);
+        obs::ScopedSpan root("http",
+                             trace_context.trace_id != 0
+                                 ? request.method + ' ' + pattern
+                                 : std::string());
+        response = route(request);
+    }
+    if (options_.slow_trace_ms > 0.0 && trace_context.trace_id != 0) {
+        const double elapsed_ms =
+            obs::elapsedSeconds(start_ns, obs::monotonicNanos()) * 1e3;
+        if (elapsed_ms >= options_.slow_trace_ms)
+            logSlowRequest(request, elapsed_ms, trace_context.trace_id);
+    }
+    return response;
+}
+
+HttpResponse
+SimulationService::route(const HttpRequest& request)
+{
     try {
         const std::string& path = request.path;
         if (path == "/metrics") {
@@ -195,6 +290,16 @@ SimulationService::handle(const HttpRequest& request)
             return campaignProgress(
                 path.substr(14, path.size() - 14 - 9));
         }
+        if (path == "/v1/traces") {
+            if (request.method != "GET")
+                return HttpResponse::error(405, "use GET " + path);
+            return traceList();
+        }
+        if (path.rfind("/v1/traces/", 0) == 0) {
+            if (request.method != "GET")
+                return HttpResponse::error(405, "use GET " + path);
+            return traceDocument(path.substr(11));
+        }
         if (path.rfind("/v1/jobs/", 0) == 0) {
             if (request.method != "GET")
                 return HttpResponse::error(405, "use GET " + path);
@@ -211,6 +316,7 @@ SimulationService::handle(const HttpRequest& request)
                      " (routes: POST /v1/runs, POST /v1/campaigns, "
                      "GET /v1/jobs/<id>, GET /v1/reports/<id>, "
                      "GET /v1/campaigns/<id>/progress, "
+                     "GET /v1/traces, GET /v1/traces/<id>, "
                      "GET /v1/registry, GET /v1/stats, GET /metrics)");
     } catch (const json::ParseError& e) {
         return HttpResponse::error(400, e.what());
@@ -352,7 +458,8 @@ SimulationService::submitRun(const HttpRequest& request)
     const auto [inserted, ok] = records_.emplace(id, std::move(record));
     (void)ok;
     return HttpResponse::json(
-        202, statusJson(inserted->second, statusOf(inserted->second)));
+        202, withTraceLink(statusJson(inserted->second,
+                                      statusOf(inserted->second))));
 }
 
 HttpResponse
@@ -388,10 +495,18 @@ SimulationService::submitCampaign(const HttpRequest& request)
     if (record.spec.sampling) {
         record.adaptive_seeds =
             std::make_shared<std::atomic<std::size_t>>(0);
+        // The async worker inherits the submitting request's trace
+        // context so the whole adaptive campaign — every cell's
+        // queue/simulate/store spans — lands in the submit's trace.
         record.adaptive_report =
             std::async(std::launch::async,
                        [this, spec_copy = record.spec,
-                        seeds = record.adaptive_seeds]() {
+                        seeds = record.adaptive_seeds,
+                        trace_context = obs::currentTraceContext()]() {
+                           obs::ScopedTraceContext trace_scope(
+                               trace_context);
+                           obs::ScopedSpan span("campaign",
+                                                spec_copy.name);
                            CampaignRunner runner(engine_);
                            return runner.run(
                                spec_copy,
@@ -412,7 +527,8 @@ SimulationService::submitCampaign(const HttpRequest& request)
     const auto [inserted, ok] = records_.emplace(id, std::move(record));
     (void)ok;
     return HttpResponse::json(
-        202, statusJson(inserted->second, statusOf(inserted->second)));
+        202, withTraceLink(statusJson(inserted->second,
+                                      statusOf(inserted->second))));
 }
 
 HttpResponse
@@ -645,6 +761,9 @@ SimulationService::campaignProgress(const std::string& id) const
     root.set("cells_done", cells_done);
     root.set("jobs_total", status.total);
     root.set("jobs_done", status.completed);
+    // Engine-wide async backlog (all records, not just this campaign):
+    // the live signal for "are my jobs waiting behind someone else".
+    root.set("queue_depth", engine_.queueDepth());
     if (record.adaptive())
         root.set("seeds_drawn", status.seeds_drawn);
     root.set("elapsed_seconds", elapsed);
@@ -663,6 +782,58 @@ SimulationService::campaignProgress(const std::string& id) const
     root.set("poll", "/v1/jobs/" + record.id);
     root.set("report", "/v1/reports/" + record.id);
     return HttpResponse::json(200, root);
+}
+
+HttpResponse
+SimulationService::traceList() const
+{
+    const obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (!recorder.enabled())
+        return HttpResponse::error(
+            404, "tracing is disabled; start the daemon with --trace "
+                 "(or --trace-slow-ms) to record span timelines");
+    json::Value traces = json::Value::array();
+    for (const obs::TraceRecorder::TraceSummary& summary :
+         recorder.recentTraces()) {
+        json::Value entry = json::Value::object();
+        const std::string id = obs::formatTraceId(summary.trace_id);
+        entry.set("id", id);
+        entry.set("root", summary.root);
+        entry.set("spans", summary.spans);
+        entry.set("duration_ms",
+                  obs::elapsedSeconds(summary.start_ns,
+                                      summary.end_ns) * 1e3);
+        entry.set("trace", "/v1/traces/" + id);
+        traces.push(std::move(entry));
+    }
+    json::Value root = json::Value::object();
+    root.set("traces", std::move(traces));
+    return HttpResponse::json(200, root);
+}
+
+HttpResponse
+SimulationService::traceDocument(const std::string& id_text) const
+{
+    const obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (!recorder.enabled())
+        return HttpResponse::error(
+            404, "tracing is disabled; start the daemon with --trace "
+                 "(or --trace-slow-ms) to record span timelines");
+    const std::uint64_t trace_id = obs::parseTraceId(id_text);
+    if (trace_id == 0)
+        return HttpResponse::error(
+            400, "malformed trace id \"" + id_text +
+                     "\" (expected 1-16 hex digits)");
+    const std::vector<obs::TraceSpan> spans =
+        obs::TraceRecorder::global().collect(trace_id);
+    if (spans.empty())
+        return HttpResponse::error(
+            404, "no spans recorded for trace " +
+                     obs::formatTraceId(trace_id) +
+                     " (the flight recorder keeps the most recent " +
+                     std::to_string(recorder.capacity()) +
+                     " spans; older traces are overwritten)");
+    return HttpResponse::json(200, obs::chromeTraceJson(spans));
 }
 
 HttpResponse

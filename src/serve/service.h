@@ -17,6 +17,9 @@
  * | `GET  /v1/campaigns/<id>/progress` | live cells-done / seeds-drawn  |
  * |                           | / ETA for a submitted campaign          |
  * | `GET  /metrics`           | Prometheus text exposition (obs/)       |
+ * | `GET  /v1/traces`         | recent trace summaries (with --trace)   |
+ * | `GET  /v1/traces/<id>`    | one request's span timeline as Chrome   |
+ * |                           | trace-event JSON (Perfetto-loadable)    |
  *
  * Job ids are **deterministic**, derived from SimulationEngine::jobKey
  * (runs) or the canonical spec serialization (campaigns): resubmitting
@@ -70,6 +73,17 @@ struct ServiceOptions
     /** Admission bound: submits are rejected with 429 while this many
      *  simulations are still unfinished. */
     std::size_t max_pending = 256;
+
+    /** Enable the span flight recorder: requests carry trace ids
+     *  (minted, or adopted from `X-Prosperity-Trace`) and
+     *  `GET /v1/traces/<id>` serves their Perfetto timelines. Off by
+     *  default — tracing is strictly opt-in, like the CLI flags. */
+    bool tracing = false;
+
+    /** Dump the span timeline of any request slower than this many
+     *  milliseconds to stderr. 0 disables the dump; a positive value
+     *  implies `tracing`. */
+    double slow_trace_ms = 0.0;
 };
 
 class SimulationService
@@ -139,6 +153,10 @@ class SimulationService
         }
     };
 
+    /** Route dispatch + error mapping (handle() minus the tracing and
+     *  latency envelope). */
+    HttpResponse route(const HttpRequest& request);
+
     HttpResponse submitRun(const HttpRequest& request);
     HttpResponse submitCampaign(const HttpRequest& request);
     HttpResponse jobStatus(const std::string& id) const;
@@ -148,6 +166,8 @@ class SimulationService
     HttpResponse statsDocument() const;
     HttpResponse campaignProgress(const std::string& id) const;
     HttpResponse metricsExposition() const;
+    HttpResponse traceList() const;
+    HttpResponse traceDocument(const std::string& id_text) const;
 
     static RecordStatus statusOf(const JobRecord& record);
     static json::Value statusJson(const JobRecord& record,

@@ -20,12 +20,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "analysis/campaign.h"
 #include "bitmatrix/simd_dispatch.h"
+#include "obs/trace.h"
 
 namespace prosperity {
 namespace {
@@ -130,6 +132,38 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<SimdTier>& param_info) {
         return std::string(simdTierName(param_info.param));
     });
+
+/**
+ * Tracing inertness at the highest level: the smoke campaign run with
+ * the flight recorder enabled and every span site live (installed
+ * context, per-layer and per-stage spans recording) must produce the
+ * byte-identical golden report. Spans observe the run; nothing they
+ * do may feed back into a result or its serialization.
+ */
+TEST(CampaignGoldenTraced, SmokeReportIsByteIdenticalWithTracingOn)
+{
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.setEnabled(true);
+    const std::uint64_t trace_id = recorder.mintTraceId();
+
+    std::string produced;
+    {
+        obs::ScopedTraceContext scope(obs::TraceContext{trace_id, 0});
+        obs::ScopedSpan root("campaign", "smoke");
+        SimulationEngine engine;
+        CampaignRunner runner(engine);
+        const CampaignReport report =
+            runner.run(loadNamedCampaign("smoke"));
+        produced = report.toJson().dump(2) + "\n";
+    }
+
+    // The run was actually traced, not silently untraced.
+    EXPECT_FALSE(recorder.collect(trace_id).empty());
+    recorder.setEnabled(false);
+    recorder.clear();
+
+    EXPECT_EQ(produced, readFile(goldenDir() + "/smoke.report.json"));
+}
 
 } // namespace
 } // namespace prosperity

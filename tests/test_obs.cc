@@ -1,12 +1,17 @@
 /**
  * @file
- * Unit tests for the obs metrics subsystem: instrument semantics,
+ * Unit tests for the obs subsystem. Metrics: instrument semantics,
  * bucket boundaries, snapshot consistency under concurrent recorders,
  * registry identity rules, and the Prometheus exposition format.
+ * Tracing: trace-id wire format, span activation rules, parent
+ * nesting, flight-recorder wraparound, concurrent emission (the TSan
+ * CI job runs this file), and the Chrome trace-event exporter.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -14,6 +19,7 @@
 
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace prosperity::obs {
 namespace {
@@ -223,6 +229,274 @@ TEST(ObsExposition, HistogramLabelsKeepLeLast)
         std::string::npos);
     EXPECT_NE(text.find("route_seconds_count{route=\"/v1/stats\"} 1"),
               std::string::npos);
+}
+
+TEST(ObsTraceId, FormatIsSixteenLowercaseHexDigits)
+{
+    EXPECT_EQ(formatTraceId(0), "0000000000000000");
+    EXPECT_EQ(formatTraceId(0x0123456789abcdefULL), "0123456789abcdef");
+    EXPECT_EQ(formatTraceId(0xffffffffffffffffULL), "ffffffffffffffff");
+}
+
+TEST(ObsTraceId, ParseRoundTripsAndRejectsMalformedIds)
+{
+    for (const std::uint64_t id :
+         {std::uint64_t{1}, std::uint64_t{0x42},
+          std::uint64_t{0xdeadbeefcafef00d},
+          std::uint64_t{0xffffffffffffffff}})
+        EXPECT_EQ(parseTraceId(formatTraceId(id)), id);
+    EXPECT_EQ(parseTraceId("f"), 0xfu);     // short ids are valid
+    EXPECT_EQ(parseTraceId("ABC"), 0xabcu); // case-insensitive
+    EXPECT_EQ(parseTraceId(""), 0u);
+    EXPECT_EQ(parseTraceId("xyz"), 0u);
+    EXPECT_EQ(parseTraceId("12 34"), 0u);
+    EXPECT_EQ(parseTraceId("0123456789abcdef0"), 0u); // 17 digits
+}
+
+/**
+ * Tracing tests share the process-wide flight recorder, so the
+ * fixture resets it on both sides: enabled with a fresh ring going
+ * in, disabled and empty going out (other tests in this binary must
+ * see tracing off, exactly like production defaults).
+ */
+class ObsTraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        TraceRecorder& recorder = TraceRecorder::global();
+        recorder.setCapacity(65536);
+        recorder.setEnabled(true);
+        recorder.clear();
+    }
+
+    void TearDown() override
+    {
+        TraceRecorder& recorder = TraceRecorder::global();
+        recorder.setEnabled(false);
+        recorder.setCapacity(65536);
+        recorder.clear();
+    }
+};
+
+TEST_F(ObsTraceTest, SpanInactiveWithoutInstalledContext)
+{
+    EXPECT_FALSE(traceActive());
+    const std::uint64_t before = TraceRecorder::global().recorded();
+    {
+        ScopedSpan span("test", "orphan");
+        EXPECT_FALSE(span.active());
+    }
+    EXPECT_EQ(TraceRecorder::global().recorded(), before);
+}
+
+TEST_F(ObsTraceTest, SpanInactiveWhileRecorderDisabled)
+{
+    TraceRecorder::global().setEnabled(false);
+    ScopedTraceContext scope(TraceContext{42, 0});
+    EXPECT_FALSE(traceActive());
+    ScopedSpan span("test", "dark");
+    EXPECT_FALSE(span.active());
+}
+
+TEST_F(ObsTraceTest, NestedSpansRecordTheParentChain)
+{
+    TraceRecorder& recorder = TraceRecorder::global();
+    const std::uint64_t id = recorder.mintTraceId();
+    {
+        ScopedTraceContext scope(TraceContext{id, 0});
+        EXPECT_TRUE(traceActive());
+        ScopedSpan outer("test", "outer");
+        ASSERT_TRUE(outer.active());
+        // The open span is the ambient parent: work dispatched from
+        // here (engine submit) nests under it.
+        EXPECT_NE(currentTraceContext().parent_span, 0u);
+        {
+            ScopedSpan inner("test", "inner");
+            ASSERT_TRUE(inner.active());
+        }
+    }
+    EXPECT_FALSE(traceActive()); // context restored on scope exit
+
+    const std::vector<TraceSpan> spans = recorder.collect(id);
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "outer");
+    EXPECT_EQ(spans[0].parent_id, 0u);
+    EXPECT_EQ(spans[1].name, "inner");
+    EXPECT_EQ(spans[1].parent_id, spans[0].span_id);
+    EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+    EXPECT_GE(spans[0].end_ns, spans[1].end_ns);
+}
+
+TEST_F(ObsTraceTest, EmitSpanRecordsExplicitIntervals)
+{
+    TraceRecorder& recorder = TraceRecorder::global();
+    const std::uint64_t id = recorder.mintTraceId();
+    {
+        ScopedTraceContext scope(TraceContext{id, 0});
+        emitSpan("test", "wait", 100, 250);
+        emitSpan("test", "clamped", 300, 200); // end < start clamps
+    }
+    const std::vector<TraceSpan> spans = recorder.collect(id);
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "wait");
+    EXPECT_EQ(spans[0].start_ns, 100u);
+    EXPECT_EQ(spans[0].end_ns, 250u);
+    EXPECT_EQ(spans[1].name, "clamped");
+    EXPECT_EQ(spans[1].end_ns, 300u);
+}
+
+TEST_F(ObsTraceTest, RingWrapsAroundKeepingTheNewestSpans)
+{
+    TraceRecorder& recorder = TraceRecorder::global();
+    recorder.setCapacity(8);
+    const std::uint64_t id = recorder.mintTraceId();
+    const std::uint64_t before = recorder.recorded();
+    {
+        ScopedTraceContext scope(TraceContext{id, 0});
+        for (int i = 0; i < 20; ++i)
+            ScopedSpan span("test", "s" + std::to_string(i));
+    }
+    // All 20 were accepted; only the final 8 survive in the ring.
+    EXPECT_EQ(recorder.recorded() - before, 20u);
+    const std::vector<TraceSpan> spans = recorder.collect(id);
+    ASSERT_EQ(spans.size(), 8u);
+    std::set<std::string> names;
+    for (const TraceSpan& span : spans)
+        names.insert(span.name);
+    for (int i = 12; i < 20; ++i)
+        EXPECT_EQ(names.count("s" + std::to_string(i)), 1u) << i;
+}
+
+TEST_F(ObsTraceTest, ConcurrentEmissionKeepsTracesSeparate)
+{
+    TraceRecorder& recorder = TraceRecorder::global();
+    constexpr int kThreads = 4;
+    constexpr int kSpansPerThread = 200;
+    std::vector<std::uint64_t> ids;
+    for (int t = 0; t < kThreads; ++t)
+        ids.push_back(recorder.mintTraceId());
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([id = ids[static_cast<std::size_t>(t)]] {
+            ScopedTraceContext scope(TraceContext{id, 0});
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                ScopedSpan span("test", "work");
+                emitSpan("test", "interval", 1, 2);
+            }
+        });
+    }
+    for (std::thread& worker : workers)
+        worker.join();
+    for (const std::uint64_t id : ids) {
+        const std::vector<TraceSpan> spans = recorder.collect(id);
+        EXPECT_EQ(spans.size(),
+                  static_cast<std::size_t>(2 * kSpansPerThread));
+        for (const TraceSpan& span : spans)
+            EXPECT_EQ(span.trace_id, id);
+    }
+}
+
+TEST_F(ObsTraceTest, MintedIdsAreNonZeroAndDistinct)
+{
+    TraceRecorder& recorder = TraceRecorder::global();
+    std::set<std::uint64_t> ids;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t id = recorder.mintTraceId();
+        EXPECT_NE(id, 0u);
+        ids.insert(id);
+    }
+    EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST_F(ObsTraceTest, RecentTracesListsNewestFirstWithRootNames)
+{
+    TraceRecorder& recorder = TraceRecorder::global();
+    const std::uint64_t first = recorder.mintTraceId();
+    const std::uint64_t second = recorder.mintTraceId();
+    {
+        ScopedTraceContext scope(TraceContext{first, 0});
+        ScopedSpan root("test", "first-root");
+        ScopedSpan child("test", "child");
+    }
+    // Force the clock forward so the two traces cannot tie on start.
+    const std::uint64_t mark = monotonicNanos();
+    while (monotonicNanos() == mark) {
+    }
+    {
+        ScopedTraceContext scope(TraceContext{second, 0});
+        ScopedSpan root("test", "second-root");
+    }
+    const std::vector<TraceRecorder::TraceSummary> recent =
+        recorder.recentTraces(8);
+    ASSERT_EQ(recent.size(), 2u);
+    EXPECT_EQ(recent[0].trace_id, second);
+    EXPECT_EQ(recent[0].root, "second-root");
+    EXPECT_EQ(recent[0].spans, 1u);
+    EXPECT_EQ(recent[1].trace_id, first);
+    EXPECT_EQ(recent[1].root, "first-root");
+    EXPECT_EQ(recent[1].spans, 2u);
+    EXPECT_LE(recent[1].start_ns, recent[1].end_ns);
+    EXPECT_EQ(recorder.recentTraces(1).size(), 1u);
+}
+
+TEST(ObsChromeTrace, ExportsMetadataAndCompleteEvents)
+{
+    std::vector<TraceSpan> spans(2);
+    spans[0].trace_id = 0xabc;
+    spans[0].span_id = 1;
+    spans[0].start_ns = 2000;
+    spans[0].end_ns = 7000;
+    spans[0].tid = 0;
+    spans[0].category = "http";
+    spans[0].name = "POST /v1/runs";
+    spans[1].trace_id = 0xabc;
+    spans[1].span_id = 2;
+    spans[1].parent_id = 1;
+    spans[1].start_ns = 3000;
+    spans[1].end_ns = 4500;
+    spans[1].tid = 3;
+    spans[1].category = "engine";
+    spans[1].name = "simulate";
+    spans[1].detail = "prosperity / VGG16";
+
+    const json::Value doc = chromeTraceJson(spans);
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    const json::Value::Array& events = doc.at("traceEvents").asArray();
+    // process_name + two thread_name metadata rows + two X events.
+    ASSERT_EQ(events.size(), 5u);
+    EXPECT_EQ(events[0].at("ph").asString(), "M");
+    EXPECT_EQ(events[0].at("name").asString(), "process_name");
+    EXPECT_EQ(events[1].at("name").asString(), "thread_name");
+    EXPECT_EQ(events[2].at("name").asString(), "thread_name");
+
+    const json::Value& root = events[3];
+    EXPECT_EQ(root.at("ph").asString(), "X");
+    EXPECT_EQ(root.at("name").asString(), "POST /v1/runs");
+    EXPECT_EQ(root.at("cat").asString(), "http");
+    EXPECT_DOUBLE_EQ(root.at("ts").asNumber(), 0.0); // rebased
+    EXPECT_DOUBLE_EQ(root.at("dur").asNumber(), 5.0); // 5000 ns = 5 µs
+    EXPECT_DOUBLE_EQ(root.at("pid").asNumber(), 1.0);
+    EXPECT_EQ(root.at("args").at("trace").asString(),
+              formatTraceId(0xabc));
+    EXPECT_EQ(root.at("args").find("detail"), nullptr);
+
+    const json::Value& child = events[4];
+    EXPECT_DOUBLE_EQ(child.at("ts").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(child.at("dur").asNumber(), 1.5);
+    EXPECT_DOUBLE_EQ(child.at("tid").asNumber(), 3.0);
+    EXPECT_EQ(child.at("args").at("parent").asString(),
+              formatTraceId(1));
+    EXPECT_EQ(child.at("args").at("detail").asString(),
+              "prosperity / VGG16");
+}
+
+TEST(ObsChromeTrace, EmptySpanListStillProducesValidDocument)
+{
+    const json::Value doc = chromeTraceJson({});
+    ASSERT_TRUE(doc.at("traceEvents").isArray());
+    // Just the process_name metadata row.
+    EXPECT_EQ(doc.at("traceEvents").asArray().size(), 1u);
 }
 
 } // namespace

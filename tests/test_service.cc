@@ -4,7 +4,9 @@
  * submit/poll/fetch round trips, campaign reports byte-identical to
  * the offline CampaignRunner, concurrent duplicate submits deduped to
  * one simulation, structured key-path errors for malformed requests,
- * bounded admission, and disk-warm restarts that re-run nothing.
+ * bounded admission, disk-warm restarts that re-run nothing, and the
+ * tracing routes (trace-id header round trip, span coverage of the
+ * whole submit → simulate → store pipeline, opt-in gating).
  */
 
 #include <gtest/gtest.h>
@@ -12,10 +14,12 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/service.h"
 
 namespace prosperity::serve {
@@ -51,6 +55,10 @@ class ServiceTest : public ::testing::Test
     void TearDown() override
     {
         stopService();
+        // Tracing-enabled services turn the process-global flight
+        // recorder on; restore the untraced default for later tests.
+        obs::TraceRecorder::global().setEnabled(false);
+        obs::TraceRecorder::global().clear();
         if (!store_dir_.empty())
             fs::remove_all(store_dir_);
     }
@@ -432,6 +440,10 @@ TEST_F(ServiceTest, MetricsEndpointReflectsKnownTraffic)
     const double polls_before = metricValue(
         before.body,
         "prosperity_http_request_seconds_count{route=\"/v1/jobs/:id\"}");
+    const double req_bytes_before = metricValue(
+        before.body, "prosperity_http_request_bytes_total");
+    const double resp_bytes_before = metricValue(
+        before.body, "prosperity_http_response_bytes_total");
 
     submitAndWait(http, "/v1/runs", kRunBody);
 
@@ -471,6 +483,17 @@ TEST_F(ServiceTest, MetricsEndpointReflectsKnownTraffic)
     EXPECT_GE(metricValue(after.body, "prosperity_uptime_seconds"), 0.0);
     EXPECT_EQ(metricValue(after.body, "prosperity_service_records"), 1.0);
 
+    // Wire-volume counters: the submit + polls moved at least the run
+    // body in, and every response moved bytes out.
+    EXPECT_GE(metricValue(after.body,
+                          "prosperity_http_request_bytes_total") -
+                  req_bytes_before,
+              static_cast<double>(std::string(kRunBody).size()));
+    EXPECT_GT(metricValue(after.body,
+                          "prosperity_http_response_bytes_total") -
+                  resp_bytes_before,
+              0.0);
+
     // Writes are rejected; the metrics route is read-only.
     EXPECT_EQ(http.post("/metrics", "{}").status, 405);
 }
@@ -495,6 +518,9 @@ TEST_F(ServiceTest, CampaignProgressTracksLifecycle)
               body.at("jobs_total").asNumber());
     EXPECT_GE(body.at("elapsed_seconds").asNumber(), 0.0);
     EXPECT_EQ(body.at("eta_seconds").asNumber(), 0.0);
+    // The engine-wide queue backlog rides along; a finished campaign
+    // leaves nothing queued.
+    EXPECT_EQ(body.at("queue_depth").asNumber(), 0.0);
     EXPECT_EQ(body.at("poll").asString(), "/v1/jobs/" + id);
     EXPECT_EQ(body.at("report").asString(), "/v1/reports/" + id);
 
@@ -561,6 +587,133 @@ TEST_F(ServiceTest, WarmRestartServesFromStoreWithoutSimulating)
         << "warm restart re-ran a simulation";
     ASSERT_NE(service_->store(), nullptr);
     EXPECT_EQ(service_->store()->stats().hits, jobs_in_campaign);
+}
+
+TEST_F(ServiceTest, TracingIsOffByDefault)
+{
+    startService();
+    HttpClient http = client();
+    const HttpResponse list = http.get("/v1/traces");
+    EXPECT_EQ(list.status, 404);
+    EXPECT_NE(list.body.find("tracing is disabled"), std::string::npos)
+        << list.body;
+    EXPECT_EQ(http.get("/v1/traces/0123456789abcdef").status, 404);
+
+    // No ack advertises a trace that cannot be fetched.
+    const HttpResponse submitted = http.post("/v1/runs", kRunBody);
+    ASSERT_TRUE(submitted.status == 202 || submitted.status == 200);
+    EXPECT_EQ(json::Value::parse(submitted.body).find("trace"),
+              nullptr);
+}
+
+TEST_F(ServiceTest, TraceHeaderRoundTripCoversThePipeline)
+{
+    ServiceOptions options;
+    options.tracing = true;
+    options.store_dir = storeDir(); // store spans ride along
+    startService(options);
+    HttpClient http = client();
+
+    const std::string trace_id = "00f00dcafe123456";
+    const HttpResponse submitted = http.request(
+        "POST", "/v1/runs", kRunBody, "application/json",
+        {{"X-Prosperity-Trace", trace_id}});
+    ASSERT_TRUE(submitted.status == 202 || submitted.status == 200)
+        << submitted.body;
+    const json::Value ack = json::Value::parse(submitted.body);
+    // The ack links to the timeline under the id the caller supplied.
+    EXPECT_EQ(ack.at("trace").asString(), "/v1/traces/" + trace_id);
+
+    const std::string id = ack.at("id").asString();
+    for (int i = 0; i < 600; ++i) {
+        const HttpResponse polled = http.get("/v1/jobs/" + id);
+        ASSERT_EQ(polled.status, 200) << polled.body;
+        const std::string status =
+            json::Value::parse(polled.body).at("status").asString();
+        if (status == "done")
+            break;
+        ASSERT_NE(status, "failed") << polled.body;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    // Workers drain their span buffers before resolving the job's
+    // promise, so a trace is complete as soon as a poll says "done".
+    const HttpResponse trace = http.get("/v1/traces/" + trace_id);
+    ASSERT_EQ(trace.status, 200) << trace.body;
+    const json::Value doc = json::Value::parse(trace.body);
+    std::set<std::string> cats, names;
+    for (const json::Value& event : doc.at("traceEvents").asArray()) {
+        if (event.at("ph").asString() != "X")
+            continue;
+        cats.insert(event.at("cat").asString());
+        names.insert(event.at("name").asString());
+        EXPECT_GE(event.at("dur").asNumber(), 0.0);
+        EXPECT_EQ(event.at("args").at("trace").asString(), trace_id);
+    }
+    // Ingress → queue → simulate → per-layer → per-stage → store.
+    for (const char* cat : {"http", "engine", "layer", "stage", "store"})
+        EXPECT_EQ(cats.count(cat), 1u) << cat;
+    EXPECT_EQ(names.count("POST /v1/runs"), 1u);
+    EXPECT_EQ(names.count("queue_wait"), 1u);
+    EXPECT_EQ(names.count("simulate"), 1u);
+    EXPECT_EQ(names.count("store.publish"), 1u);
+}
+
+TEST_F(ServiceTest, TracingMintsIdsWhenNoHeaderIsSent)
+{
+    ServiceOptions options;
+    options.tracing = true;
+    startService(options);
+    HttpClient http = client();
+
+    const HttpResponse submitted = http.post("/v1/runs", kRunBody);
+    ASSERT_TRUE(submitted.status == 202 || submitted.status == 200);
+    const json::Value ack = json::Value::parse(submitted.body);
+    const std::string link = ack.at("trace").asString();
+    ASSERT_EQ(link.rfind("/v1/traces/", 0), 0u) << link;
+    EXPECT_EQ(link.size(), std::string("/v1/traces/").size() + 16);
+
+    // The ingress span is flushed when the request scope ends, before
+    // the response hits the wire — fetchable immediately.
+    const HttpResponse trace = http.get(link);
+    ASSERT_EQ(trace.status, 200) << trace.body;
+    EXPECT_NE(trace.body.find("POST /v1/runs"), std::string::npos);
+
+    // The trace index lists it, newest first, with a fetch link.
+    const HttpResponse list = http.get("/v1/traces");
+    ASSERT_EQ(list.status, 200);
+    const json::Value list_doc = json::Value::parse(list.body);
+    const json::Value::Array& traces = list_doc.at("traces").asArray();
+    ASSERT_FALSE(traces.empty());
+    bool found = false;
+    for (const json::Value& entry : traces) {
+        EXPECT_GE(entry.at("spans").asNumber(), 1.0);
+        EXPECT_GE(entry.at("duration_ms").asNumber(), 0.0);
+        if (entry.at("trace").asString() == link) {
+            found = true;
+            EXPECT_EQ(entry.at("root").asString(), "POST /v1/runs");
+        }
+    }
+    EXPECT_TRUE(found) << list.body;
+}
+
+TEST_F(ServiceTest, TraceRouteRejectsBadIds)
+{
+    ServiceOptions options;
+    options.tracing = true;
+    startService(options);
+    HttpClient http = client();
+
+    const HttpResponse malformed = http.get("/v1/traces/not-hex!");
+    EXPECT_EQ(malformed.status, 400);
+    EXPECT_NE(malformed.body.find("malformed trace id"),
+              std::string::npos)
+        << malformed.body;
+
+    const HttpResponse unknown = http.get("/v1/traces/deadbeef");
+    EXPECT_EQ(unknown.status, 404);
+    EXPECT_NE(unknown.body.find("no spans recorded"), std::string::npos)
+        << unknown.body;
 }
 
 } // namespace

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON document. Stdlib only.
+
+Usage:
+    check_trace.py trace.json [--require-name NAME ...]
+                              [--require-cat CAT ...]
+
+Structural checks, applied to the whole document:
+
+  * the document is an object with a `traceEvents` array;
+  * every event is an object with a string `ph` phase;
+  * metadata events (`ph:"M"`) carry a known name and an `args.name`;
+  * timestamped events (`X`, `B`, `E`) carry numeric `ts` plus `pid`
+    and `tid`, and their `ts` values are non-decreasing in file order
+    (the exporter sorts spans before emitting);
+  * complete events (`X`) carry a non-negative numeric `dur`;
+  * duration events come in matched `B`/`E` pairs per (pid, tid), with
+    no `E` before its `B` and nothing left open at end of file.
+
+`--require-name NAME` / `--require-cat CAT` additionally demand at
+least one `X`/`B` event with exactly that name / category. The
+serve-smoke CI job uses these to pin that a traced campaign submission
+produced the full ingress -> queue -> simulate -> layer/stage span
+chain.
+
+Exit status: 0 clean, 1 any finding (all findings are printed), 2 bad
+invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+
+TIMESTAMPED = {"X", "B", "E"}
+KNOWN_METADATA = {"process_name", "process_labels", "process_sort_index",
+                  "thread_name", "thread_sort_index"}
+
+
+def is_number(value) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def check(path: str, require_names: list, require_cats: list) -> list:
+    findings = []
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as err:
+            return [f"not valid JSON: {err}"]
+
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if events is None:
+            return ["document object has no traceEvents array"]
+    elif isinstance(doc, list):
+        events = doc  # the bare-array variant is also loadable
+    else:
+        return ["document is neither an object nor an event array"]
+    if not isinstance(events, list):
+        return ["traceEvents is not an array"]
+
+    seen_names = set()
+    seen_cats = set()
+    last_ts = None
+    open_stacks: dict = {}  # (pid, tid) -> [names of open B events]
+
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            findings.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            findings.append(f"{where}: missing ph")
+            continue
+
+        if phase == "M":
+            name = event.get("name")
+            if name not in KNOWN_METADATA:
+                findings.append(f"{where}: unknown metadata name {name!r}")
+            args = event.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                findings.append(f"{where}: metadata without args.name")
+            continue
+
+        if phase not in TIMESTAMPED:
+            continue  # counters, flows, instants: out of scope
+
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            findings.append(f"{where}: {phase} event without a name")
+            name = "?"
+        for field in ("pid", "tid"):
+            if not is_number(event.get(field)):
+                findings.append(f"{where} ({name}): missing {field}")
+        ts = event.get("ts")
+        if not is_number(ts):
+            findings.append(f"{where} ({name}): missing numeric ts")
+        else:
+            if last_ts is not None and ts < last_ts:
+                findings.append(
+                    f"{where} ({name}): ts {ts} decreases from {last_ts} "
+                    f"(events must be emitted in start order)")
+            last_ts = ts
+
+        if phase in ("X", "B"):
+            seen_names.add(name)
+            cat = event.get("cat")
+            if isinstance(cat, str):
+                seen_cats.add(cat)
+        if phase == "X":
+            dur = event.get("dur")
+            if not is_number(dur) or dur < 0:
+                findings.append(
+                    f"{where} ({name}): X event needs a non-negative "
+                    f"numeric dur, got {dur!r}")
+        elif phase == "B":
+            open_stacks.setdefault(
+                (event.get("pid"), event.get("tid")), []).append(name)
+        elif phase == "E":
+            stack = open_stacks.get((event.get("pid"), event.get("tid")))
+            if not stack:
+                findings.append(
+                    f"{where} ({name}): E without a matching B on its "
+                    f"(pid, tid)")
+            else:
+                stack.pop()
+
+    for (pid, tid), stack in open_stacks.items():
+        for name in stack:
+            findings.append(
+                f"B event {name!r} on (pid={pid}, tid={tid}) never closed")
+
+    for name in require_names:
+        if name not in seen_names:
+            findings.append(f"required span name missing: {name}")
+    for cat in require_cats:
+        if cat not in seen_cats:
+            findings.append(f"required span category missing: {cat}")
+
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a Chrome trace-event JSON document.")
+    parser.add_argument("path", help="trace document to validate")
+    parser.add_argument("--require-name", action="append", default=[],
+                        metavar="NAME",
+                        help="span name that must be present")
+    parser.add_argument("--require-cat", action="append", default=[],
+                        metavar="CAT",
+                        help="span category that must be present")
+    args = parser.parse_args()
+
+    try:
+        findings = check(args.path, args.require_name, args.require_cat)
+    except OSError as err:
+        print(f"check_trace: {err}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(f"check_trace: {finding}")
+    if findings:
+        print(f"check_trace: {len(findings)} finding(s) in {args.path}")
+        return 1
+    print(f"check_trace: {args.path} is a valid trace"
+          + (f" with {len(args.require_name)} required spans"
+             if args.require_name else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
